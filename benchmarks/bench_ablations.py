@@ -1,0 +1,124 @@
+"""Ablations of the pipeline's design choices (DESIGN.md section 5).
+
+Quantifies what each methodological component of Figure 1 buys:
+
+- entry-point traversal vs naive whole-code scanning (dead-code FPs),
+- the BROWSABLE deep-link filter (first-party-content FPs),
+- decompiler-based WebView-subclass detection (subclass-call FNs).
+"""
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.reporting import Table
+from repro.static_analysis.pipeline import (
+    PipelineOptions,
+    StaticAnalysisPipeline,
+)
+
+ABLATION_UNIVERSE = 25_000
+
+
+@pytest.fixture(scope="module")
+def ablation_corpus():
+    return generate_corpus(
+        CorpusConfig(universe_size=ABLATION_UNIVERSE, seed=77)
+    )
+
+
+def _webview_count(corpus, options):
+    pipeline = StaticAnalysisPipeline(corpus, options=options)
+    result = pipeline.run()
+    return sum(1 for a in result.successful() if a.uses_webview), result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_entry_point_traversal(benchmark, ablation_corpus):
+    baseline, _ = _webview_count(ablation_corpus, PipelineOptions())
+
+    def naive():
+        return _webview_count(
+            ablation_corpus,
+            PipelineOptions(entry_point_traversal=False),
+        )[0]
+
+    naive_count = benchmark(naive)
+    print("\nWebView apps: traversal=%d, whole-code scan=%d "
+          "(+%d dead-code false positives)"
+          % (baseline, naive_count, naive_count - baseline))
+    assert naive_count >= baseline
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_deep_link_filter(benchmark, ablation_corpus):
+    baseline, result = _webview_count(ablation_corpus, PipelineOptions())
+
+    def unfiltered():
+        return _webview_count(
+            ablation_corpus, PipelineOptions(deep_link_filter=False)
+        )[0]
+
+    unfiltered_count = benchmark(unfiltered)
+    excluded_calls = sum(
+        1 for analysis in result.successful()
+        for call in analysis.calls if call.excluded
+    )
+    print("\nWebView apps: filtered=%d, unfiltered=%d "
+          "(+%d first-party hosts kept out; %d calls excluded)"
+          % (baseline, unfiltered_count, unfiltered_count - baseline,
+             excluded_calls))
+    # The filter must exclude something: non-WebView apps hosting
+    # first-party content in deep-link activities exist in the corpus.
+    assert unfiltered_count > baseline
+    assert excluded_calls > 0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_subclass_detection(benchmark, ablation_corpus):
+    baseline, result = _webview_count(ablation_corpus, PipelineOptions())
+
+    def blind():
+        return _webview_count(
+            ablation_corpus, PipelineOptions(subclass_detection=False)
+        )[0]
+
+    blind_count = benchmark(blind)
+    subclassing_apps = sum(
+        1 for analysis in result.successful() if analysis.webview_subclasses
+    )
+    print("\nWebView apps: with subclass detection=%d, without=%d "
+          "(-%d missed; %d apps define WebView subclasses)"
+          % (baseline, blind_count, baseline - blind_count,
+             subclassing_apps))
+    # Dev-tool/hybrid SDK subclasses and first-party subclasses get missed.
+    assert blind_count < baseline
+    assert subclassing_apps > 0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_summary_table(benchmark, ablation_corpus):
+    def summarize():
+        rows = []
+        for label, options in (
+            ("full pipeline (paper)", PipelineOptions()),
+            ("no entry-point traversal",
+             PipelineOptions(entry_point_traversal=False)),
+            ("no deep-link filter", PipelineOptions(deep_link_filter=False)),
+            ("no subclass detection",
+             PipelineOptions(subclass_detection=False)),
+        ):
+            count, result = _webview_count(ablation_corpus, options)
+            rows.append((label, count, result.analyzed))
+        return rows
+
+    rows = benchmark(summarize)
+    table = Table(["Configuration", "WebView apps", "Analyzed"],
+                  title="Ablation summary")
+    for row in rows:
+        table.add_row(*row)
+    print()
+    print(table.render())
+    full = rows[0][1]
+    assert rows[1][1] >= full      # naive over-counts
+    assert rows[2][1] > full       # unfiltered over-counts
+    assert rows[3][1] < full       # blind under-counts

@@ -1,0 +1,57 @@
+"""Figure 3: SDK use-case distribution per top-10 app category."""
+
+import pytest
+
+from repro.static_analysis.report import figure3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_category_usecases(benchmark, static_study):
+    aggregator = static_study.aggregator
+    wv_series, ct_series = benchmark(figure3, aggregator)
+    print()
+    print(wv_series.render())
+    print()
+    print(ct_series.render())
+
+    wv_data = wv_series.as_dict()
+    ct_data = ct_series.as_dict()
+
+    # Shape 1: game categories dominate the top-10 (paper: Puzzle,
+    # Simulation, Action, Arcade all appear).
+    game_categories = {"Puzzle", "Simulation", "Action", "Arcade", "Casual"}
+    games_in_top10 = game_categories & set(wv_series.categories)
+    assert len(games_in_top10) >= 3
+
+    # Shape 2: WebView usage is advertising-led in every top category.
+    advertising = wv_data.get("Advertising", {})
+    for category in wv_series.categories:
+        other_max = max(
+            (values[category] for name, values in wv_data.items()
+             if name != "Advertising"), default=0.0,
+        )
+        assert advertising.get(category, 0.0) >= other_max * 0.8, category
+
+    # Shape 3: CT usage is social-led; games use CT social SDKs heavily.
+    social = ct_data.get("Social", {})
+    assert social
+    for category in games_in_top10:
+        if category in social:
+            other_max = max(
+                (values[category] for name, values in ct_data.items()
+                 if name != "Social"), default=0.0,
+            )
+            assert social[category] >= other_max, category
+
+    # Shape 4: education apps lean less on ads and more on payments than
+    # game apps do (4.1: 44% ads, ~16.2% payments in education).
+    if "Education" in wv_series.categories:
+        education_ads = advertising.get("Education", 0.0)
+        game_ads = [advertising[c] for c in games_in_top10
+                    if c in advertising]
+        if game_ads:
+            assert education_ads < sum(game_ads) / len(game_ads)
+        payments = wv_data.get("Payments", {})
+        education_payments = payments.get("Education", 0.0)
+        game_payments = [payments.get(c, 0.0) for c in games_in_top10]
+        assert education_payments > max(game_payments, default=0.0)

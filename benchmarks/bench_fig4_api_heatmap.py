@@ -1,0 +1,50 @@
+"""Figure 4: heatmap of WebView API method calls by SDK type."""
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.static_analysis.report import figure4
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_api_heatmap(benchmark, static_study):
+    aggregator = static_study.aggregator
+    heatmap = benchmark(figure4, aggregator)
+    print()
+    print(heatmap.render())
+    print()
+    print(heatmap.render(numeric=False))
+
+    data = heatmap.as_dict()
+
+    rows = []
+    if "Advertising" in data:
+        rows.append(("Ads: addJavascriptInterface", ">45%",
+                     "%.1f%%" % data["Advertising"]["addJavascriptInterface"]))
+        rows.append(("Ads: evaluateJavascript", ">30%",
+                     "%.1f%%" % data["Advertising"]["evaluateJavascript"]))
+    if "Payments" in data:
+        rows.append(("Payments: addJavascriptInterface", "48.5%",
+                     "%.1f%%" % data["Payments"]["addJavascriptInterface"]))
+    if "User Support" in data:
+        rows.append(("User Support: loadDataWithBaseURL", "100%",
+                     "%.1f%%" % data["User Support"]["loadDataWithBaseURL"]))
+        rows.append(("User Support: loadUrl", "45.9%",
+                     "%.1f%%" % data["User Support"]["loadUrl"]))
+    print()
+    print(paper_vs_measured("Figure 4 anchors (paper vs measured):", rows))
+
+    # The paper's stated anchors, with sampling tolerance.
+    assert data["Advertising"]["addJavascriptInterface"] > 35
+    assert data["Advertising"]["evaluateJavascript"] > 22
+    assert data["Payments"]["addJavascriptInterface"] > 35
+    if "User Support" in data:
+        assert data["User Support"]["loadDataWithBaseURL"] == 100.0
+        assert data["User Support"]["loadUrl"] < (
+            data["User Support"]["loadDataWithBaseURL"]
+        )
+    # loadUrl is hot everywhere else.
+    for sdk_type, row in data.items():
+        if sdk_type == "User Support":
+            continue
+        assert row["loadUrl"] > 70, sdk_type

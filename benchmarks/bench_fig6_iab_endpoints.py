@@ -1,0 +1,74 @@
+"""Figure 6: endpoints contacted by LinkedIn's and Kik's IABs during the
+top-site crawl, baseline-differenced against the System WebView Shell."""
+
+import pytest
+
+from repro.dynamic.apps import real_app_profiles
+from repro.dynamic.crawler import AdbCrawler
+from repro.reporting import GroupedSeries
+from repro.web.sites import top_sites
+
+RICH = ("News", "Entertainment", "Shopping")
+LEAN = ("Search", "Technology")
+
+
+def _series(title, means):
+    categories = sorted(means)
+    series = GroupedSeries(title, categories)
+    series.add_series("endpoints", [means[c] for c in categories])
+    return series
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_iab_endpoints(benchmark):
+    profiles = {p.name: p for p in real_app_profiles()}
+
+    def crawl():
+        crawler = AdbCrawler(
+            [profiles["LinkedIn"], profiles["Kik"]],
+            sites=top_sites(100), seed=20230113,
+        )
+        return crawler.crawl()
+
+    result = benchmark(crawl)
+
+    linkedin_means, linkedin_types = result.endpoint_summary("LinkedIn")
+    kik_means, kik_types = result.endpoint_summary("Kik")
+
+    print()
+    print(_series("Figure 6a: LinkedIn IAB mean distinct endpoints per "
+                  "site type", linkedin_means).render())
+    print()
+    print(_series("Figure 6b: Kik IAB mean distinct endpoints per site "
+                  "type", kik_means).render())
+
+    def mean_over(means, categories):
+        values = [means[c] for c in categories if c in means]
+        return sum(values) / len(values) if values else 0.0
+
+    linkedin_rich = mean_over(linkedin_means, RICH)
+    linkedin_lean = mean_over(linkedin_means, LEAN)
+    kik_rich = mean_over(kik_means, RICH)
+
+    print("\nLinkedIn rich=%.1f lean=%.1f | Kik rich=%.1f" % (
+        linkedin_rich, linkedin_lean, kik_rich,
+    ))
+
+    # Paper 6a: >2 trackers on rich content; fewer endpoints on Search/Tech.
+    assert linkedin_rich > linkedin_lean
+    news_types = linkedin_types.get("News", {})
+    assert news_types.get("Tracker", 0) >= 2
+
+    # Paper 6b: Kik contacts 15+ ad-network endpoints on rich sites.
+    assert kik_rich >= 12
+    kik_news_types = kik_types.get("News", {})
+    assert kik_news_types.get("Ad network", 0) >= 10
+    assert kik_news_types.get("CDN", 0) >= 1
+
+    # LinkedIn-specific endpoints include its own services and Cedexis.
+    all_linkedin_hosts = set()
+    for visit in result.visits_for("LinkedIn"):
+        all_linkedin_hosts.update(result.app_specific_hosts(visit))
+    assert any("cedexis" in h for h in all_linkedin_hosts)
+    assert any("linkedin.com" in h or "licdn" in h
+               for h in all_linkedin_hosts)

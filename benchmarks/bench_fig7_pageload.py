@@ -1,0 +1,49 @@
+"""Figure 7 (Appendix): page-load time per loader — CT ~2x WebView."""
+
+import statistics
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.netstack.pageload import LoaderKind, PageLoadModel
+from repro.reporting import BarSeries
+from repro.web.sites import top_sites
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_pageload(benchmark):
+    model = PageLoadModel(seed=20230113)
+    sites = top_sites(20)
+
+    def run_comparison():
+        totals = {loader: [] for loader in LoaderKind}
+        for site in sites:
+            for loader, mean_ms in model.compare(site, trials=3).items():
+                totals[loader].append(mean_ms)
+        return {
+            loader: statistics.mean(values)
+            for loader, values in totals.items()
+        }
+
+    means = benchmark(run_comparison)
+
+    series = BarSeries("Figure 7: mean page load time per loader", unit="ms")
+    for loader in (LoaderKind.CUSTOM_TAB, LoaderKind.CHROME,
+                   LoaderKind.EXTERNAL_BROWSER, LoaderKind.WEBVIEW):
+        series.add(str(loader), means[loader])
+    print()
+    print(series.render())
+
+    ratio = means[LoaderKind.WEBVIEW] / means[LoaderKind.CUSTOM_TAB]
+    print()
+    print(paper_vs_measured("Figure 7 (paper vs measured):", [
+        ("ordering", "CT < Chrome < ext. browser < WebView",
+         " < ".join(str(k) for k, _ in sorted(means.items(),
+                                              key=lambda kv: kv[1]))),
+        ("WebView / CT ratio", "~2x", "%.2fx" % ratio),
+    ]))
+
+    assert (means[LoaderKind.CUSTOM_TAB] < means[LoaderKind.CHROME]
+            < means[LoaderKind.EXTERNAL_BROWSER]
+            < means[LoaderKind.WEBVIEW])
+    assert 1.6 < ratio < 2.5

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the pipeline's substrates.
+
+Not a paper table — these track the cost of each Figure 1 stage so that
+regressions in the substrates (zip, dex, decompiler, parser, call graph)
+are visible: per-APK analysis latency, decompile+parse throughput, and
+call-graph construction.
+"""
+
+import pytest
+
+from repro.apk.container import read_apk
+from repro.callgraph.builder import build_call_graph
+from repro.corpus import CorpusConfig, build_app_apk
+from repro.corpus.profiles import build_spec
+from repro.decompiler.jadx import Decompiler
+from repro.javasrc.parser import parse_java
+from repro.playstore.models import AppCategory
+from repro.sdk import build_catalog
+from repro.static_analysis.pipeline import analyze_apk_bytes
+
+
+@pytest.fixture(scope="module")
+def sample_apk_bytes():
+    catalog = build_catalog()
+    spec = build_spec(CorpusConfig(universe_size=1, seed=100), catalog, 0,
+                      pinned=("com.bench.app", "Bench", 5_000_000,
+                              AppCategory.SOCIAL))
+    spec.broken = False
+    return build_app_apk(spec)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_per_apk_analysis_latency(benchmark, sample_apk_bytes):
+    analysis = benchmark(analyze_apk_bytes, sample_apk_bytes)
+    assert analysis.package == "com.bench.app"
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_apk_parse_latency(benchmark, sample_apk_bytes):
+    apk = benchmark(read_apk, sample_apk_bytes)
+    assert apk.package == "com.bench.app"
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_decompile_latency(benchmark, sample_apk_bytes):
+    apk = read_apk(sample_apk_bytes)
+    decompiler = Decompiler()
+    decompiled = benchmark(decompiler.decompile_apk, apk)
+    assert decompiled.sources
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_java_parse_throughput(benchmark, sample_apk_bytes):
+    apk = read_apk(sample_apk_bytes)
+    sources = list(Decompiler().decompile_apk(apk).sources.values())
+
+    def parse_all():
+        return [parse_java(source) for source in sources]
+
+    units = benchmark(parse_all)
+    assert len(units) == len(sources)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_call_graph_construction(benchmark, sample_apk_bytes):
+    dex = read_apk(sample_apk_bytes).dex
+    graph = benchmark(build_call_graph, dex)
+    assert graph.node_count > 0

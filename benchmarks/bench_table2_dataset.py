@@ -1,0 +1,49 @@
+"""Table 2: the dataset funnel, re-measured through the pipeline."""
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.corpus.config import PAPER_FUNNEL
+from repro.static_analysis.report import table2
+from repro.util import percent
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_funnel(benchmark, static_study):
+    result = static_study.result
+
+    def regenerate():
+        return table2(result)
+
+    table = benchmark(regenerate)
+    print()
+    print(table.render())
+
+    funnel = result.funnel_dict()
+    rows = []
+    paper_total = PAPER_FUNNEL["androzoo_play_apps"]
+    measured_total = funnel["androzoo_play_apps"]
+    for key, label in (
+        ("found_on_play", "found on Play (%)"),
+        ("with_100k_downloads", "100K+ downloads (% of found)"),
+        ("updated_after_2021", "updated after 2021 (% of popular)"),
+        ("successfully_analyzed", "analyzable (% of selected)"),
+    ):
+        paper_stage = PAPER_FUNNEL[key]
+        measured_stage = funnel[key]
+        rows.append((label,
+                     "%.1f%%" % percent(paper_stage, paper_total),
+                     "%.1f%%" % percent(measured_stage, measured_total)))
+        paper_total = paper_stage
+        measured_total = measured_stage
+    print()
+    print(paper_vs_measured("Funnel stage retention (paper vs measured):",
+                            rows))
+
+    # Shape assertions: each stage strictly narrows; broken APKs are rare.
+    assert (funnel["androzoo_play_apps"] > funnel["found_on_play"]
+            > funnel["with_100k_downloads"] > funnel["updated_after_2021"]
+            >= funnel["successfully_analyzed"])
+    broken_rate = 1 - (funnel["successfully_analyzed"]
+                       / funnel["updated_after_2021"])
+    assert broken_rate < 0.02  # paper: 242/146,800 ~ 0.16%

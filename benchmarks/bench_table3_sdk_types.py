@@ -1,0 +1,38 @@
+"""Table 3: SDK counts per use-case type and mechanism."""
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.sdk.catalog import TABLE3_SDK_TYPE_COUNTS
+from repro.static_analysis.report import table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sdk_types(benchmark, static_study):
+    aggregator = static_study.aggregator
+    table = benchmark(table3, aggregator)
+    print()
+    print(table.render())
+
+    records = {r["Type of SDK"]: r for r in table.as_records()}
+    total = records["Total"]
+    paper_totals = [
+        sum(v[i] for v in TABLE3_SDK_TYPE_COUNTS.values()) for i in range(3)
+    ]
+    print()
+    print(paper_vs_measured("SDK totals (paper vs measured):", [
+        ("SDKs using WebViews", paper_totals[0], total["Use WebViews"]),
+        ("SDKs using CTs", paper_totals[1], total["Use CT"]),
+        ("SDKs using both", paper_totals[2], total["Use both"]),
+    ]))
+
+    # Shape: far more WebView SDKs than CT SDKs; ads dominate WebView
+    # SDK counts; engagement/user-support SDKs never use CTs.
+    assert total["Use WebViews"] > 2 * total["Use CT"]
+    advertising = records["Advertising"]
+    assert advertising["Use WebViews"] == max(
+        r["Use WebViews"] for name, r in records.items() if name != "Total"
+    )
+    for never_ct in ("Engagement", "User Support"):
+        if never_ct in records:
+            assert records[never_ct]["Use CT"] == 0

@@ -1,0 +1,47 @@
+"""Table 4: popular SDKs using WebViews — who tops each category."""
+
+import pytest
+
+from conftest import paper_vs_measured, BENCH_UNIVERSE
+from repro.sdk.catalog import PAPER_TOTAL_APPS
+from repro.static_analysis.report import table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_popular_webview_sdks(benchmark, static_study):
+    aggregator = static_study.aggregator
+    table = benchmark(table4, aggregator)
+    print()
+    print(table.render())
+
+    counts = aggregator.sdk_webview_apps
+    analyzed = static_study.result.analyzed
+
+    def share(name):
+        return counts.get(name, 0) / analyzed
+
+    paper_share = lambda apps: apps / PAPER_TOTAL_APPS
+    rows = [
+        ("AppLovin share", "%.1f%%" % (100 * paper_share(27_397)),
+         "%.1f%%" % (100 * share("AppLovin"))),
+        ("ironSource share", "%.1f%%" % (100 * paper_share(16_326)),
+         "%.1f%%" % (100 * share("ironSource"))),
+        ("Open Measurement share", "%.1f%%" % (100 * paper_share(11_333)),
+         "%.1f%%" % (100 * share("Open Measurement"))),
+        ("Stripe share", "%.1f%%" % (100 * paper_share(1_171)),
+         "%.1f%%" % (100 * share("Stripe"))),
+    ]
+    print()
+    print(paper_vs_measured(
+        "Per-SDK adoption (paper N=%d, measured N=%d of %d universe):"
+        % (PAPER_TOTAL_APPS, analyzed, BENCH_UNIVERSE), rows,
+    ))
+
+    # Shape: AppLovin is the single most embedded WebView SDK, and ad SDKs
+    # fill the top ranks, as in Table 4.
+    ranked = sorted(counts, key=counts.get, reverse=True)
+    assert ranked[0] == "AppLovin"
+    top5_categories = [
+        aggregator.sdk_profile(name).category.value for name in ranked[:5]
+    ]
+    assert top5_categories.count("Advertising") >= 2

@@ -1,0 +1,43 @@
+"""Table 5: popular SDKs using CTs — Facebook and Firebase dominate."""
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.sdk.catalog import PAPER_TOTAL_APPS
+from repro.static_analysis.report import table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_popular_ct_sdks(benchmark, static_study):
+    aggregator = static_study.aggregator
+    table = benchmark(table5, aggregator)
+    print()
+    print(table.render())
+
+    counts = aggregator.sdk_ct_apps
+    analyzed = static_study.result.analyzed
+    ct_apps = aggregator.ct_apps or 1
+
+    facebook_cover = counts.get("Facebook", 0) / ct_apps
+    print()
+    print(paper_vs_measured("CT SDK dominance (paper vs measured):", [
+        ("Facebook share of CT apps", "~80% (23,234/29,130)",
+         "%.0f%%" % (100 * facebook_cover)),
+        ("Firebase adoption",
+         "%.1f%%" % (100 * 7_565 / PAPER_TOTAL_APPS),
+         "%.1f%%" % (100 * counts.get("Google Firebase", 0) / analyzed)),
+    ]))
+
+    # Shape: Facebook is the top CT SDK (social), Firebase second (auth) —
+    # "~98% of CT social apps rely on Facebook's SDK" (4.1.6).
+    ranked = sorted(counts, key=counts.get, reverse=True)
+    assert ranked[0] == "Facebook"
+    assert "Google Firebase" in ranked[:3]
+    social_counts = {
+        name: apps for name, apps in counts.items()
+        if aggregator.sdk_profile(name).category.value == "Social"
+    }
+    facebook_social_share = counts.get("Facebook", 0) / (
+        sum(social_counts.values()) or 1
+    )
+    assert facebook_social_share > 0.9

@@ -1,0 +1,40 @@
+"""Table 6: manual classification of link behaviour in the top 1K apps."""
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.dynamic.manual_study import ManualStudy
+
+
+PAPER_TABLE6 = {
+    "Users can post links.": 38,
+    "Link opens in browser.": 27,
+    "Link opens in a WebView.": 10,
+    "Link opens in CT.": 1,
+    "Users can not post links.": 905,
+    "Browser Apps.": 9,
+    "Could not classify app.": 48,
+    "Required a phone number.": 24,
+    "App incompatibility error.": 22,
+    "Required paid account.": 2,
+}
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_manual_classification(benchmark, dynamic_study):
+    def run_study():
+        study = ManualStudy(seed=20230113)
+        return ManualStudy.tally(study.run())
+
+    tally = benchmark(run_study)
+    table = dynamic_study.table6()
+    print()
+    print(table.render())
+    print()
+    print(paper_vs_measured("Table 6 (paper vs measured):", [
+        (label, PAPER_TABLE6[label], tally[label])
+        for label in PAPER_TABLE6
+    ]))
+
+    for label, expected in PAPER_TABLE6.items():
+        assert tally[label] == expected, label

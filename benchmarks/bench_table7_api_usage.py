@@ -1,0 +1,65 @@
+"""Table 7: apps using WebViews/CTs and per-API-method app counts."""
+
+import pytest
+
+from conftest import paper_vs_measured
+from repro.static_analysis.report import table7
+from repro.util import percent
+
+#: Paper Table 7, as shares of the 81,720 WebView apps / 146,558 total.
+PAPER_METHOD_SHARES = {
+    "loadUrl": 77_930 / 81_720,
+    "addJavascriptInterface": 36_899 / 81_720,
+    "loadDataWithBaseURL": 35_680 / 81_720,
+    "evaluateJavascript": 26_891 / 81_720,
+    "removeJavascriptInterface": 19_684 / 81_720,
+    "loadData": 8_275 / 81_720,
+    "postUrl": 5_028 / 81_720,
+}
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_api_usage(benchmark, static_study):
+    aggregator = static_study.aggregator
+    table = benchmark(table7, aggregator)
+    print()
+    print(table.render())
+
+    analyzed = static_study.result.analyzed
+    webview_apps = aggregator.webview_apps or 1
+    rows = [
+        ("apps using WebViews", "55.7%",
+         "%.1f%%" % percent(aggregator.webview_apps, analyzed)),
+        ("apps using CTs", "19.9%",
+         "%.1f%%" % percent(aggregator.ct_apps, analyzed)),
+        ("apps using both", "15.0%",
+         "%.1f%%" % percent(aggregator.both_apps, analyzed)),
+        ("WebView apps via top SDKs", "67.1%",
+         "%.1f%%" % percent(aggregator.webview_apps_with_sdks,
+                            aggregator.webview_apps)),
+        ("CT apps via top SDKs", "95.7%",
+         "%.1f%%" % percent(aggregator.ct_apps_with_sdks,
+                            aggregator.ct_apps)),
+    ]
+    for method, paper_share in PAPER_METHOD_SHARES.items():
+        measured = percent(aggregator.method_apps.get(method, 0),
+                           webview_apps)
+        rows.append(("  %s (of WV apps)" % method,
+                     "%.1f%%" % (100 * paper_share),
+                     "%.1f%%" % measured))
+    print()
+    print(paper_vs_measured("Table 7 shares (paper vs measured):", rows))
+
+    # Shape: loadUrl dominates; the method ranking's head matches the paper.
+    method_counts = aggregator.method_apps
+    ranking = sorted(method_counts, key=method_counts.get, reverse=True)
+    assert ranking[0] == "loadUrl"
+    assert set(ranking[1:3]) <= {
+        "addJavascriptInterface", "loadDataWithBaseURL",
+        "evaluateJavascript",
+    }
+    assert method_counts.get("postUrl", 0) < method_counts["loadUrl"] / 5
+    # Crossover: more apps use WebViews than CTs, both < either.
+    assert aggregator.webview_apps > aggregator.ct_apps
+    assert aggregator.both_apps <= min(aggregator.webview_apps,
+                                       aggregator.ct_apps)

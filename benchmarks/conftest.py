@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+The static study runs once per session at a universe of 60K AndroZoo
+entries (~1.3K selected apps — every proportion the paper reports is
+stable at this scale); benches then regenerate each table/figure from it.
+Printed output shows measured values next to the paper's, so a bench run
+reads as a side-by-side reproduction report.
+"""
+
+import pytest
+
+from repro.core import DynamicStudy, StaticStudy
+from repro.util import DEFAULT_SEED
+
+BENCH_UNIVERSE = 60_000
+BENCH_SITES = 60
+
+
+@pytest.fixture(scope="session")
+def static_study():
+    study = StaticStudy(universe_size=BENCH_UNIVERSE, seed=DEFAULT_SEED)
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="session")
+def dynamic_study():
+    return DynamicStudy(seed=DEFAULT_SEED, site_count=BENCH_SITES)
+
+
+def paper_vs_measured(title, rows):
+    """Render a small paper-vs-measured comparison block."""
+    lines = [title]
+    width = max(len(label) for label, _, _ in rows)
+    lines.append("%s   %12s   %12s" % ("metric".ljust(width), "paper",
+                                       "measured"))
+    for label, paper, measured in rows:
+        lines.append("%s   %12s   %12s" % (
+            str(label).ljust(width), paper, measured
+        ))
+    return "\n".join(lines)

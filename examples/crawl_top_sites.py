@@ -1,0 +1,63 @@
+"""Top-site crawl: measure what IABs add to ordinary page visits.
+
+Reproduces Figure 6: crawls the top-100 sites through the LinkedIn and
+Kik IABs (plus the System WebView Shell baseline), diffs endpoints
+against the baseline, classifies them Sitereview-style, and prints the
+per-site-category endpoint distributions.
+
+    python examples/crawl_top_sites.py [site_count]
+"""
+
+import sys
+
+from repro.dynamic.apps import real_app_profiles
+from repro.dynamic.crawler import AdbCrawler
+from repro.reporting import GroupedSeries
+from repro.web.sites import top_sites
+
+
+def print_summary(result, app_name):
+    means, types = result.endpoint_summary(app_name)
+    categories = sorted(means)
+    series = GroupedSeries(
+        "%s IAB: mean distinct app-specific endpoints per site type"
+        % app_name,
+        categories,
+    )
+    series.add_series("endpoints", [means[c] for c in categories])
+    print(series.render())
+    print()
+    endpoint_types = sorted({t for row in types.values() for t in row})
+    breakdown = GroupedSeries("  breakdown by endpoint type", categories)
+    for endpoint_type in endpoint_types:
+        breakdown.add_series(
+            endpoint_type,
+            [types.get(c, {}).get(endpoint_type, 0.0) for c in categories],
+        )
+    print(breakdown.render())
+    print()
+
+
+def main():
+    site_count = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    profiles = {p.name: p for p in real_app_profiles()}
+    sites = top_sites(site_count)
+
+    print("Crawling %d top sites via the LinkedIn and Kik IABs "
+          "(plus baseline)...\n" % site_count)
+    crawler = AdbCrawler([profiles["LinkedIn"], profiles["Kik"]],
+                         sites=sites)
+    result = crawler.crawl()
+
+    print_summary(result, "LinkedIn")
+    print_summary(result, "Kik")
+
+    print("Simulated ADB commands issued: %d (launch/tap/type/swipe/kill)"
+          % len(crawler.adb_commands))
+    print("\nFindings (cf. paper 4.2.2/4.2.4): LinkedIn's IAB sources "
+          "network measurements\n(Cedexis Radar) from user devices; Kik's "
+          "IAB talks to 15+ ad networks on\ncontent-rich pages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""SDK migration report: which SDKs should move from WebViews to CTs?
+
+Reproduces the paper's Section 4.1 analysis as an actionable report: for
+every SDK type it measures WebView vs CT adoption, flags the sensitive
+use cases (payments, authentication, social login) still on WebViews —
+the paper's takeaways — and acknowledges the legitimate WebView use
+cases (engagement measurement, user support, hybrid apps).
+
+    python examples/sdk_migration_report.py [universe_size]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.core import StaticStudy
+from repro.reporting import Table
+from repro.sdk.catalog import SdkCategory
+
+#: Use cases the paper says should migrate, and those that are legitimate.
+SHOULD_MIGRATE = {
+    SdkCategory.PAYMENTS: "handles sensitive payment data (PLAT4 leaks)",
+    SdkCategory.AUTHENTICATION: "handles credentials; CTs enable passkeys",
+    SdkCategory.SOCIAL: "OAuth via WebView is phishable (RFC 8252)",
+    SdkCategory.ADVERTISING: "malicious ads have exploited WebView access",
+}
+LEGITIMATE_WEBVIEW = {
+    SdkCategory.ENGAGEMENT: "custom measurement needs page access",
+    SdkCategory.USER_SUPPORT: "loads local app data (loadDataWithBaseURL)",
+    SdkCategory.HYBRID: "hybrid apps are the intended WebView use case",
+    SdkCategory.UTILITY: "depends on the utility (maps yes, health no)",
+}
+
+
+def main():
+    universe = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    study = StaticStudy(universe_size=universe)
+    study.run()
+    aggregator = study.aggregator
+
+    per_type = defaultdict(lambda: {"webview": 0, "ct": 0, "apps_wv": 0,
+                                    "apps_ct": 0})
+    mechanisms = aggregator.observed_sdk_mechanisms()
+    for name, mechanism in mechanisms.items():
+        category = aggregator.sdk_profile(name).category
+        bucket = per_type[category]
+        if mechanism in ("webview", "both"):
+            bucket["webview"] += 1
+            bucket["apps_wv"] += aggregator.sdk_webview_apps.get(name, 0)
+        if mechanism in ("ct", "both"):
+            bucket["ct"] += 1
+            bucket["apps_ct"] += aggregator.sdk_ct_apps.get(name, 0)
+
+    table = Table(
+        ["SDK type", "WV SDKs", "CT SDKs", "WV app reach", "CT app reach",
+         "Recommendation"],
+        title="SDK migration report (measured from the corpus)",
+    )
+    for category in SdkCategory:
+        if category not in per_type:
+            continue
+        bucket = per_type[category]
+        if category in SHOULD_MIGRATE and bucket["webview"] > bucket["ct"]:
+            verdict = "MIGRATE: " + SHOULD_MIGRATE[category]
+        elif category in LEGITIMATE_WEBVIEW:
+            verdict = "keep: " + LEGITIMATE_WEBVIEW[category]
+        elif category in SHOULD_MIGRATE:
+            verdict = "migration under way"
+        else:
+            verdict = "review case by case"
+        table.add_row(str(category), bucket["webview"], bucket["ct"],
+                      bucket["apps_wv"], bucket["apps_ct"], verdict)
+    print(table.render())
+
+    print("\nLaggards the paper calls out, as measured here:")
+    for name in ("VK", "Kakao", "Gigya", "Amazon Identity", "Stripe",
+                 "RazorPay", "PayTM"):
+        apps = aggregator.sdk_webview_apps.get(name, 0)
+        if apps:
+            category = aggregator.sdk_profile(name).category
+            print("  - %-16s %-16s still on WebViews in %d apps"
+                  % (name, "(%s)" % category, apps))
+    print("\nAlready migrated (per the paper):")
+    for name in ("Facebook", "Google Firebase"):
+        apps = aggregator.sdk_ct_apps.get(name, 0)
+        if apps:
+            print("  - %-16s uses CTs in %d apps" % (name, apps))
+
+
+if __name__ == "__main__":
+    main()

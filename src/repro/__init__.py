@@ -1,0 +1,23 @@
+"""repro — reproduction of "Whatcha Lookin' At: Investigating Third-Party
+Web Content in Popular Android Apps" (IMC 2024).
+
+The package implements the paper's two measurement pipelines end-to-end over
+a calibrated synthetic Android ecosystem:
+
+- :mod:`repro.core` — the public facade: :class:`~repro.core.StaticStudy`
+  (the ~146.5K-app static pipeline) and :class:`~repro.core.DynamicStudy`
+  (the top-1K semi-manual dynamic pipeline).
+- Substrates: :mod:`repro.dex`, :mod:`repro.apk`, :mod:`repro.android`,
+  :mod:`repro.javasrc`, :mod:`repro.decompiler`, :mod:`repro.callgraph`,
+  :mod:`repro.playstore`, :mod:`repro.androzoo`, :mod:`repro.sdk`,
+  :mod:`repro.corpus`, :mod:`repro.web`, :mod:`repro.netstack`,
+  :mod:`repro.dynamic`, :mod:`repro.reporting`.
+
+See DESIGN.md for the system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.util import DEFAULT_SEED
+
+__all__ = ["DEFAULT_SEED", "__version__"]

@@ -1,0 +1,37 @@
+"""Android platform model.
+
+Implements the pieces of the Android platform that the paper's pipelines
+interact with: the binary XML manifest format (:mod:`repro.android.axml`),
+manifest semantics and components (:mod:`repro.android.manifest`,
+:mod:`repro.android.components`), intent dispatch for Web URIs
+(:mod:`repro.android.intents`), and the WebView / Custom Tabs API surface
+(:mod:`repro.android.api`).
+"""
+
+from repro.android.axml import XmlElement, encode_axml, decode_axml
+from repro.android.components import (
+    Activity,
+    Service,
+    Receiver,
+    Provider,
+    IntentFilter,
+)
+from repro.android.manifest import AndroidManifest
+from repro.android.intents import Intent, IntentResolution, resolve_intent
+from repro.android import api
+
+__all__ = [
+    "XmlElement",
+    "encode_axml",
+    "decode_axml",
+    "Activity",
+    "Service",
+    "Receiver",
+    "Provider",
+    "IntentFilter",
+    "AndroidManifest",
+    "Intent",
+    "IntentResolution",
+    "resolve_intent",
+    "api",
+]

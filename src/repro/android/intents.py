@@ -1,0 +1,113 @@
+"""Intent model and Web URI intent resolution.
+
+Section 4.2 of the paper: when a user clicks an HTTP(S) URL inside an app,
+Android raises a Web URI intent, handled by the default browser on Android
+12+ unless a verified app handles links for that specific domain. The
+WebView-based IAB apps the paper studies *never raise the intent at all* —
+they render the URL as a button and open a WebView from app logic. The
+dynamic pipeline uses :func:`resolve_intent` to model the default behaviour
+and detect deviations from it.
+"""
+
+from repro.android.components import ACTION_VIEW
+from repro.errors import DeviceError
+
+
+class Intent:
+    """A (simplified) Android intent: action plus optional data URI."""
+
+    def __init__(self, action, data=None, package=None):
+        self.action = action
+        self.data = data
+        self.package = package
+
+    @property
+    def scheme(self):
+        if self.data is None:
+            return None
+        return self.data.split(":", 1)[0] if ":" in self.data else None
+
+    @property
+    def host(self):
+        if self.data is None or "://" not in self.data:
+            return None
+        rest = self.data.split("://", 1)[1]
+        return rest.split("/", 1)[0].split(":", 1)[0]
+
+    @property
+    def is_web_uri(self):
+        return self.action == ACTION_VIEW and self.scheme in ("http", "https")
+
+    @classmethod
+    def view(cls, url):
+        return cls(ACTION_VIEW, data=url)
+
+    def __repr__(self):
+        return "Intent(%s, data=%r)" % (self.action, self.data)
+
+
+class IntentResolution:
+    """The outcome of dispatching an intent."""
+
+    BROWSER = "browser"
+    APP_LINK = "app_link"
+    COMPONENT = "component"
+    UNHANDLED = "unhandled"
+
+    def __init__(self, kind, handler=None, component=None):
+        self.kind = kind
+        self.handler = handler          # package name of the handling app
+        self.component = component      # component name, when applicable
+
+    def __repr__(self):
+        return "IntentResolution(%s, handler=%r)" % (self.kind, self.handler)
+
+
+def resolve_intent(intent, installed_manifests, default_browser="com.android.chrome"):
+    """Resolve an intent against installed apps, Android-12+ semantics.
+
+    ``installed_manifests`` is an iterable of :class:`AndroidManifest`.
+    For a Web URI intent: a verified app-link handler for the URL's host
+    wins; otherwise the default browser handles it. For other intents the
+    first matching exported component wins.
+    """
+    if intent.action is None:
+        raise DeviceError("intent has no action")
+
+    if intent.is_web_uri:
+        host = intent.host
+        for manifest in installed_manifests:
+            for activity in manifest.activities:
+                if not activity.exported:
+                    continue
+                for intent_filter in activity.intent_filters:
+                    if not intent_filter.is_browsable_web:
+                        continue
+                    # App links require a declared, matching host.
+                    if intent_filter.hosts and intent_filter.matches(
+                        ACTION_VIEW, scheme=intent.scheme, host=host
+                    ):
+                        return IntentResolution(
+                            IntentResolution.APP_LINK,
+                            handler=manifest.package,
+                            component=activity.name,
+                        )
+        return IntentResolution(
+            IntentResolution.BROWSER, handler=default_browser
+        )
+
+    for manifest in installed_manifests:
+        if intent.package and manifest.package != intent.package:
+            continue
+        for component in manifest.components:
+            if not component.exported:
+                continue
+            for intent_filter in component.intent_filters:
+                if intent_filter.matches(intent.action, scheme=intent.scheme,
+                                         host=intent.host):
+                    return IntentResolution(
+                        IntentResolution.COMPONENT,
+                        handler=manifest.package,
+                        component=component.name,
+                    )
+    return IntentResolution(IntentResolution.UNHANDLED)

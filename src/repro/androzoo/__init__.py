@@ -1,0 +1,5 @@
+"""AndroZoo-like APK repository substrate."""
+
+from repro.androzoo.repository import AndroZooRepository, IndexRow, Snapshot
+
+__all__ = ["AndroZooRepository", "IndexRow", "Snapshot"]

@@ -1,0 +1,127 @@
+"""An AndroZoo-like repository of APKs (Allix et al. [39]).
+
+AndroZoo periodically crawls app stores and archives every APK version it
+sees, indexed by SHA-256 with metadata (package name, version code, dex
+date, markets). The paper uses the January 13, 2023 snapshot to enumerate
+Play-Store apps and to download each selected app's most recent APK.
+
+APK payloads may be stored eagerly (bytes) or lazily (a zero-argument
+callable producing bytes), so corpus generation can defer the expensive
+APK synthesis until the pipeline actually downloads the app.
+"""
+
+import datetime
+
+from repro.errors import RepositoryError
+from repro.util import sha256_hex
+
+PLAY_MARKET = "play.google.com"
+
+
+class IndexRow:
+    """One archived APK version, as a row of the AndroZoo index CSV."""
+
+    def __init__(self, sha256, package, version_code, dex_date, markets,
+                 apk_size=0):
+        self.sha256 = sha256
+        self.package = package
+        self.version_code = int(version_code)
+        if isinstance(dex_date, str):
+            dex_date = datetime.date.fromisoformat(dex_date)
+        self.dex_date = dex_date
+        self.markets = tuple(markets)
+        self.apk_size = apk_size
+
+    @property
+    def from_play_store(self):
+        return PLAY_MARKET in self.markets
+
+    def __repr__(self):
+        return "IndexRow(%s v%d, %s)" % (
+            self.package, self.version_code, self.dex_date
+        )
+
+
+class Snapshot:
+    """A dated, immutable view of the repository index."""
+
+    def __init__(self, date, rows):
+        self.date = date
+        self.rows = tuple(rows)
+
+    def packages(self, market=None):
+        """Distinct package names, optionally restricted to one market."""
+        seen = set()
+        ordered = []
+        for row in self.rows:
+            if market is not None and market not in row.markets:
+                continue
+            if row.package not in seen:
+                seen.add(row.package)
+                ordered.append(row.package)
+        return ordered
+
+    def latest_version(self, package):
+        """The most recent archived row for ``package`` (None if absent)."""
+        best = None
+        for row in self.rows:
+            if row.package != package:
+                continue
+            if best is None or (row.version_code, row.dex_date) > (
+                best.version_code, best.dex_date
+            ):
+                best = row
+        return best
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class AndroZooRepository:
+    """The repository: index rows plus APK payload storage."""
+
+    def __init__(self):
+        self._rows = []
+        self._payloads = {}
+        self.downloads_served = 0
+
+    def archive(self, package, version_code, dex_date, payload,
+                markets=(PLAY_MARKET,)):
+        """Archive one APK version.
+
+        ``payload`` is APK bytes or a zero-argument callable returning
+        bytes (lazy synthesis). The SHA-256 key is derived from the
+        package identity for lazy payloads so archiving stays cheap.
+        """
+        if callable(payload):
+            sha256 = sha256_hex(
+                ("%s:%d" % (package, version_code)).encode("utf-8")
+            )
+            size = 0
+        else:
+            sha256 = sha256_hex(payload)
+            size = len(payload)
+        row = IndexRow(sha256, package, version_code, dex_date, markets, size)
+        self._rows.append(row)
+        self._payloads[sha256] = payload
+        return row
+
+    def snapshot(self, date=None):
+        """Return a :class:`Snapshot` of all rows archived so far."""
+        if isinstance(date, str):
+            date = datetime.date.fromisoformat(date)
+        return Snapshot(date or datetime.date(2023, 1, 13), list(self._rows))
+
+    def download(self, sha256):
+        """Fetch APK bytes by SHA-256 (resolving lazy payloads)."""
+        if sha256 not in self._payloads:
+            raise RepositoryError("unknown sha256: %s" % sha256)
+        payload = self._payloads[sha256]
+        if callable(payload):
+            payload = payload()
+            self._payloads[sha256] = payload
+        self.downloads_served += 1
+        return payload
+
+    def __len__(self):
+        return len(self._rows)

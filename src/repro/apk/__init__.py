@@ -1,0 +1,24 @@
+"""APK container substrate.
+
+Real APKs are ZIP archives with a binary manifest and one or more DEX files.
+:mod:`repro.apk.zipio` implements a minimal ZIP writer/reader from scratch
+(local file headers, central directory, EOCD, stored and deflate methods);
+:mod:`repro.apk.container` layers APK semantics on top (required entries,
+signing digest, integrity checks); :mod:`repro.apk.builder` assembles APKs
+from a manifest plus DEX classes.
+"""
+
+from repro.apk.zipio import ZipWriter, ZipReader, ZipEntry
+from repro.apk.container import Apk, read_apk, MANIFEST_ENTRY, DEX_ENTRY
+from repro.apk.builder import ApkBuilder
+
+__all__ = [
+    "ZipWriter",
+    "ZipReader",
+    "ZipEntry",
+    "Apk",
+    "read_apk",
+    "ApkBuilder",
+    "MANIFEST_ENTRY",
+    "DEX_ENTRY",
+]

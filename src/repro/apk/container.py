@@ -1,0 +1,109 @@
+"""APK semantics over the ZIP substrate.
+
+An :class:`Apk` wraps the archive's required entries: the binary manifest
+(``AndroidManifest.xml``), the code (``classes.dex``), and an integrity
+digest (``META-INF/MANIFEST.SHA256`` — a stand-in for the APK signing
+block). :func:`read_apk` parses and verifies an APK byte string and raises
+:class:`~repro.errors.BrokenApkError` on corruption — the failure mode that
+left 242 of the paper's APKs unanalyzable (Table 2).
+"""
+
+from repro.android.manifest import AndroidManifest
+from repro.apk.zipio import ZipReader, ZipWriter, STORED
+from repro.dex.binary import deserialize_dex, serialize_dex
+from repro.errors import ApkError, BrokenApkError, DexError, ManifestError
+from repro.util import sha256_hex
+
+MANIFEST_ENTRY = "AndroidManifest.xml"
+DEX_ENTRY = "classes.dex"
+SIGNATURE_ENTRY = "META-INF/MANIFEST.SHA256"
+RESOURCES_PREFIX = "res/"
+
+
+class Apk:
+    """A parsed APK: manifest, dex file, resources, raw size."""
+
+    def __init__(self, manifest, dex, resources=None, raw_size=0):
+        self.manifest = manifest
+        self.dex = dex
+        self.resources = dict(resources or {})
+        self.raw_size = raw_size
+
+    @property
+    def package(self):
+        return self.manifest.package
+
+    @property
+    def version_code(self):
+        return self.manifest.version_code
+
+    def __repr__(self):
+        return "Apk(%s v%d, %d classes)" % (
+            self.package, self.version_code, len(self.dex)
+        )
+
+
+def write_apk(manifest, dex, resources=None):
+    """Serialize a manifest + dex (+ resources) into APK bytes."""
+    writer = ZipWriter()
+    manifest_bytes = manifest.to_axml_bytes()
+    dex_bytes = serialize_dex(dex)
+    writer.add(MANIFEST_ENTRY, manifest_bytes)
+    writer.add(DEX_ENTRY, dex_bytes)
+    for name, data in sorted((resources or {}).items()):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        writer.add(RESOURCES_PREFIX + name, data)
+    digest = sha256_hex(manifest_bytes + dex_bytes)
+    writer.add(SIGNATURE_ENTRY, digest.encode("ascii"), method=STORED)
+    return writer.getvalue()
+
+
+def read_apk(data, verify=True):
+    """Parse APK bytes into an :class:`Apk`.
+
+    Raises :class:`BrokenApkError` for containers that cannot be analyzed —
+    missing entries, corrupt archive structures, undecodable manifest or
+    dex, or (when ``verify`` is true) a signature digest mismatch.
+    """
+    try:
+        reader = ZipReader(data)
+    except ApkError as exc:
+        raise BrokenApkError("unreadable archive: %s" % exc)
+
+    for required in (MANIFEST_ENTRY, DEX_ENTRY):
+        if required not in reader:
+            raise BrokenApkError("missing required entry %r" % required)
+
+    try:
+        manifest_bytes = reader.read(MANIFEST_ENTRY)
+        dex_bytes = reader.read(DEX_ENTRY)
+    except ApkError as exc:
+        raise BrokenApkError("corrupt entry: %s" % exc)
+
+    if verify and SIGNATURE_ENTRY in reader:
+        try:
+            recorded = reader.read(SIGNATURE_ENTRY).decode("ascii")
+        except (ApkError, UnicodeDecodeError) as exc:
+            raise BrokenApkError("corrupt signature entry: %s" % exc)
+        if recorded != sha256_hex(manifest_bytes + dex_bytes):
+            raise BrokenApkError("signature digest mismatch")
+
+    try:
+        manifest = AndroidManifest.from_axml_bytes(manifest_bytes)
+    except ManifestError as exc:
+        raise BrokenApkError("undecodable manifest: %s" % exc)
+    try:
+        dex = deserialize_dex(dex_bytes)
+    except DexError as exc:
+        raise BrokenApkError("undecodable dex: %s" % exc)
+
+    resources = {}
+    for name in reader.namelist():
+        if name.startswith(RESOURCES_PREFIX):
+            try:
+                resources[name[len(RESOURCES_PREFIX):]] = reader.read(name)
+            except ApkError as exc:
+                raise BrokenApkError("corrupt resource %r: %s" % (name, exc))
+
+    return Apk(manifest, dex, resources, raw_size=len(data))

@@ -1,0 +1,213 @@
+"""A minimal ZIP archive writer/reader implemented from scratch.
+
+Supports the subset of the ZIP specification that APKs rely on: local file
+headers, a central directory, the end-of-central-directory record, and the
+*stored* (0) and *deflate* (8) compression methods. Output is readable by
+standard tools; the reader locates entries via the central directory, as real
+extractors (and Android itself) do, and verifies CRC-32 checksums.
+"""
+
+import struct
+import zlib
+
+from repro.errors import ApkError
+
+_LOCAL_SIG = 0x04034B50
+_CENTRAL_SIG = 0x02014B50
+_EOCD_SIG = 0x06054B50
+
+_LOCAL_HEADER = struct.Struct("<IHHHHHIIIHH")
+_CENTRAL_HEADER = struct.Struct("<IHHHHHHIIIHHHHHII")
+_EOCD = struct.Struct("<IHHHHIIH")
+
+STORED = 0
+DEFLATED = 8
+
+
+class ZipEntry:
+    """One archive member: name, raw data, and compression method."""
+
+    __slots__ = ("name", "data", "method", "crc32")
+
+    def __init__(self, name, data, method=DEFLATED):
+        if method not in (STORED, DEFLATED):
+            raise ApkError("unsupported compression method: %r" % (method,))
+        self.name = name
+        self.data = data
+        self.method = method
+        self.crc32 = zlib.crc32(data) & 0xFFFFFFFF
+
+    def __repr__(self):
+        return "ZipEntry(%r, %d bytes)" % (self.name, len(self.data))
+
+
+class ZipWriter:
+    """Serializes entries into a ZIP archive byte string."""
+
+    def __init__(self):
+        self._entries = []
+
+    def add(self, name, data, method=DEFLATED):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._entries.append(ZipEntry(name, data, method))
+        return self
+
+    def getvalue(self):
+        chunks = []
+        offset = 0
+        central_records = []
+        for entry in self._entries:
+            name_bytes = entry.name.encode("utf-8")
+            if entry.method == DEFLATED:
+                compressor = zlib.compressobj(6, zlib.DEFLATED, -15)
+                payload = compressor.compress(entry.data) + compressor.flush()
+            else:
+                payload = entry.data
+            local = _LOCAL_HEADER.pack(
+                _LOCAL_SIG,
+                20,              # version needed
+                0,               # flags
+                entry.method,
+                0, 0,            # dos time/date (zeroed: deterministic output)
+                entry.crc32,
+                len(payload),
+                len(entry.data),
+                len(name_bytes),
+                0,               # extra length
+            )
+            chunks.append(local)
+            chunks.append(name_bytes)
+            chunks.append(payload)
+            central_records.append((entry, name_bytes, payload, offset))
+            offset += len(local) + len(name_bytes) + len(payload)
+
+        central_start = offset
+        central_size = 0
+        for entry, name_bytes, payload, local_offset in central_records:
+            record = _CENTRAL_HEADER.pack(
+                _CENTRAL_SIG,
+                20,              # version made by
+                20,              # version needed
+                0,               # flags
+                entry.method,
+                0, 0,            # dos time/date
+                entry.crc32,
+                len(payload),
+                len(entry.data),
+                len(name_bytes),
+                0,               # extra length
+                0,               # comment length
+                0,               # disk number start
+                0,               # internal attrs
+                0,               # external attrs
+                local_offset,
+            )
+            chunks.append(record)
+            chunks.append(name_bytes)
+            central_size += len(record) + len(name_bytes)
+
+        eocd = _EOCD.pack(
+            _EOCD_SIG,
+            0, 0,                          # disk numbers
+            len(self._entries),
+            len(self._entries),
+            central_size,
+            central_start,
+            0,                             # comment length
+        )
+        chunks.append(eocd)
+        return b"".join(chunks)
+
+
+class ZipReader:
+    """Parses a ZIP archive from bytes via its central directory."""
+
+    def __init__(self, data):
+        self.data = data
+        self.entries = {}
+        self._order = []
+        self._parse()
+
+    def _find_eocd(self):
+        # The EOCD record is at the very end (we write no archive comment,
+        # but tolerate a short trailing comment when reading).
+        data = self.data
+        scan_from = max(0, len(data) - 22 - 0xFFFF)
+        position = data.rfind(struct.pack("<I", _EOCD_SIG), scan_from)
+        if position < 0:
+            raise ApkError("not a zip archive: missing end-of-central-directory")
+        return position
+
+    def _parse(self):
+        data = self.data
+        eocd_offset = self._find_eocd()
+        try:
+            (_, _, _, _, entry_count, central_size, central_start, _
+             ) = _EOCD.unpack_from(data, eocd_offset)
+        except struct.error as exc:
+            raise ApkError("corrupt end-of-central-directory: %s" % exc)
+
+        offset = central_start
+        for _ in range(entry_count):
+            try:
+                fields = _CENTRAL_HEADER.unpack_from(data, offset)
+            except struct.error as exc:
+                raise ApkError("corrupt central directory: %s" % exc)
+            if fields[0] != _CENTRAL_SIG:
+                raise ApkError("bad central directory signature")
+            (_, _, _, _, method, _, _, crc, compressed_size,
+             uncompressed_size, name_length, extra_length, comment_length,
+             _, _, _, local_offset) = fields
+            name_start = offset + _CENTRAL_HEADER.size
+            name = data[name_start: name_start + name_length].decode("utf-8")
+            offset = name_start + name_length + extra_length + comment_length
+            self._order.append(name)
+            self.entries[name] = (
+                method, crc, compressed_size, uncompressed_size, local_offset
+            )
+
+    def namelist(self):
+        return list(self._order)
+
+    def __contains__(self, name):
+        return name in self.entries
+
+    def read(self, name):
+        """Return the decompressed, CRC-verified content of ``name``."""
+        if name not in self.entries:
+            raise ApkError("no such entry: %r" % name)
+        method, crc, compressed_size, uncompressed_size, local_offset = (
+            self.entries[name]
+        )
+        data = self.data
+        try:
+            fields = _LOCAL_HEADER.unpack_from(data, local_offset)
+        except struct.error as exc:
+            raise ApkError("corrupt local header for %r: %s" % (name, exc))
+        if fields[0] != _LOCAL_SIG:
+            raise ApkError("bad local header signature for %r" % name)
+        local_name_length = fields[9]
+        local_extra_length = fields[10]
+        payload_start = (
+            local_offset + _LOCAL_HEADER.size
+            + local_name_length + local_extra_length
+        )
+        payload = data[payload_start: payload_start + compressed_size]
+        if len(payload) != compressed_size:
+            raise ApkError("truncated entry payload for %r" % name)
+        if method == DEFLATED:
+            try:
+                content = zlib.decompress(payload, -15)
+            except zlib.error as exc:
+                raise ApkError("bad deflate stream for %r: %s" % (name, exc))
+        elif method == STORED:
+            content = payload
+        else:
+            raise ApkError("unsupported compression method %d for %r"
+                           % (method, name))
+        if len(content) != uncompressed_size:
+            raise ApkError("size mismatch for %r" % name)
+        if (zlib.crc32(content) & 0xFFFFFFFF) != crc:
+            raise ApkError("crc mismatch for %r" % name)
+        return content

@@ -1,0 +1,25 @@
+"""Androguard-like call-graph substrate.
+
+Builds a whole-app call graph from DEX invoke instructions
+(:mod:`repro.callgraph.builder`), detects Android entry points — lifecycle
+methods and GUI/system callbacks, since Android apps have no ``main``
+(:mod:`repro.callgraph.entrypoints`) — and supports reachability traversal
+from all entry points (:mod:`repro.callgraph.graph`), which is how the
+paper records every reachable WebView/CT call (Section 3.1.3).
+"""
+
+from repro.callgraph.graph import CallGraph
+from repro.callgraph.builder import build_call_graph
+from repro.callgraph.entrypoints import (
+    entry_point_methods,
+    is_lifecycle_method,
+    LIFECYCLE_METHODS,
+)
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "entry_point_methods",
+    "is_lifecycle_method",
+    "LIFECYCLE_METHODS",
+]

@@ -1,0 +1,61 @@
+"""Call-graph construction from simplified DEX (Androguard analogue).
+
+Nodes are :class:`~repro.dex.MethodRef` keys. Each invoke instruction adds
+an edge from the containing method to its target. Targets are resolved
+against methods *defined in the app's DEX*: an ``invoke-virtual`` on a class
+that does not define the method is resolved up the in-file superclass chain
+to the defining class. Calls into framework or library classes not present
+in the DEX remain as external leaf nodes, preserving the original receiver
+class — so a call to ``com.foo.MyWebView.loadUrl`` stays attributed to the
+custom subclass, and the pipeline uses the decompile+parse subclass map to
+recognize it as a WebView call (exactly why the paper needs both steps).
+"""
+
+from repro.dex.model import MethodRef
+
+
+def _resolve_target(dex_file, definitions, ref):
+    """Resolve an invoke target to an in-file definition when possible."""
+    key = (ref.class_name, ref.method_name, ref.descriptor)
+    if key in definitions:
+        return ref
+    # Walk the superclass chain of the receiver class, but only through
+    # classes defined in this DEX file.
+    current = dex_file.class_by_name(ref.class_name)
+    while current is not None:
+        superclass = current.superclass
+        if not superclass:
+            break
+        super_key = (superclass, ref.method_name, ref.descriptor)
+        if super_key in definitions:
+            return MethodRef(superclass, ref.method_name, ref.descriptor)
+        current = dex_file.class_by_name(superclass)
+    # External target: keep the original receiver class.
+    return ref
+
+
+def build_call_graph(dex_file):
+    """Build a :class:`~repro.callgraph.CallGraph` over ``dex_file``.
+
+    Returns a graph whose nodes are MethodRef instances; every method
+    defined in the file is present as a node even if it has no edges.
+    """
+    from repro.callgraph.graph import CallGraph
+
+    definitions = {}
+    for dex_class, method in dex_file.iter_methods():
+        ref = MethodRef(dex_class.name, method.name, method.descriptor)
+        definitions[(ref.class_name, ref.method_name, ref.descriptor)] = (
+            dex_class, method
+        )
+
+    graph = CallGraph()
+    for (class_name, method_name, descriptor), (_, _) in definitions.items():
+        graph.add_node(MethodRef(class_name, method_name, descriptor))
+
+    for dex_class, method in dex_file.iter_methods():
+        caller = MethodRef(dex_class.name, method.name, method.descriptor)
+        for ref in method.invoked_refs():
+            target = _resolve_target(dex_file, definitions, ref)
+            graph.add_edge(caller, target)
+    return graph

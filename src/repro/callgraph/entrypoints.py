@@ -1,0 +1,95 @@
+"""Android entry-point detection.
+
+Android apps have no ``main``: execution enters through component lifecycle
+methods (``onCreate``, ``onResume``, ...) and callbacks tied to system or
+GUI events (``onClick``, ``onReceive``, ...). Section 3.1.3: "in order to
+exhaustively identify the usage of WebViews and CTs in an app, we traversed
+the app's entire call graph via all entry points".
+"""
+
+#: Lifecycle methods per component kind plus common GUI/system callbacks.
+LIFECYCLE_METHODS = {
+    "activity": (
+        "onCreate", "onStart", "onResume", "onPause", "onStop",
+        "onRestart", "onDestroy", "onNewIntent", "onActivityResult",
+        "onSaveInstanceState", "onRestoreInstanceState",
+        "onBackPressed", "onOptionsItemSelected",
+    ),
+    "service": (
+        "onCreate", "onStartCommand", "onBind", "onUnbind", "onRebind",
+        "onDestroy",
+    ),
+    "receiver": ("onReceive",),
+    "provider": ("onCreate", "query", "insert", "update", "delete",
+                 "getType"),
+}
+
+#: GUI/system event callbacks that are entry points on any class
+#: (listener implementations, fragments, application subclasses).
+CALLBACK_METHODS = frozenset(
+    {
+        "onClick", "onLongClick", "onTouch", "onKey", "onFocusChange",
+        "onItemClick", "onItemSelected", "onMenuItemClick",
+        "onPageFinished", "onPageStarted", "onScrollChanged",
+        "onCheckedChanged", "onTextChanged", "afterTextChanged",
+        "run", "call", "handleMessage", "onPostExecute", "doInBackground",
+        "onLowMemory", "onTrimMemory", "onConfigurationChanged",
+    }
+)
+
+_ALL_LIFECYCLE = frozenset(
+    name for names in LIFECYCLE_METHODS.values() for name in names
+)
+
+
+def is_lifecycle_method(method_name):
+    """True for lifecycle methods of any component kind."""
+    return method_name in _ALL_LIFECYCLE
+
+
+def is_callback_method(method_name):
+    """True for GUI/system event callbacks."""
+    return method_name in CALLBACK_METHODS
+
+
+def entry_point_methods(dex_file, manifest=None):
+    """Return (DexClass, DexMethod) entry-point pairs for an app.
+
+    A method is an entry point when:
+
+    - its class is declared as a component in the manifest and the method
+      is a lifecycle method for that component kind, or
+    - (when no manifest is given) it is any lifecycle method, or
+    - it is a recognized GUI/system callback (any class), or
+    - its class is a subclass of a manifest-declared component class.
+    """
+    component_kinds = {}
+    if manifest is not None:
+        for component in manifest.components:
+            component_kinds[component.name] = component.kind
+
+    entry_points = []
+    for dex_class, method in dex_file.iter_methods():
+        if _is_entry_point(dex_file, dex_class, method, component_kinds,
+                           manifest):
+            entry_points.append((dex_class, method))
+    return entry_points
+
+
+def _component_kind_for_class(dex_file, class_name, component_kinds):
+    """The manifest component kind of a class, following superclasses."""
+    for ancestor in dex_file.superclass_chain(class_name):
+        if ancestor in component_kinds:
+            return component_kinds[ancestor]
+    return None
+
+
+def _is_entry_point(dex_file, dex_class, method, component_kinds, manifest):
+    if is_callback_method(method.name):
+        return True
+    if manifest is None:
+        return is_lifecycle_method(method.name)
+    kind = _component_kind_for_class(dex_file, dex_class.name, component_kinds)
+    if kind is None:
+        return False
+    return method.name in LIFECYCLE_METHODS.get(kind, ())

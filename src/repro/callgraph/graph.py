@@ -1,0 +1,97 @@
+"""Directed call-graph structure with reachability traversal."""
+
+from collections import deque
+
+from repro.errors import CallGraphError
+
+
+class CallGraph:
+    """A directed graph over method nodes.
+
+    Nodes are :class:`~repro.dex.MethodRef`-like keys — we use
+    ``(class_name, method_name, descriptor)`` tuples internally, exposed as
+    MethodRef objects at the API edge by the builder. Supports O(1) edge
+    insertion and BFS reachability, which the pipeline runs from every
+    entry point.
+    """
+
+    def __init__(self):
+        self._successors = {}
+        self._predecessors = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, node):
+        if node not in self._successors:
+            self._successors[node] = []
+            self._predecessors[node] = []
+        return node
+
+    def add_edge(self, caller, callee):
+        self.add_node(caller)
+        self.add_node(callee)
+        self._successors[caller].append(callee)
+        self._predecessors[callee].append(caller)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def node_count(self):
+        return len(self._successors)
+
+    @property
+    def edge_count(self):
+        return sum(len(edges) for edges in self._successors.values())
+
+    def nodes(self):
+        return iter(self._successors)
+
+    def has_node(self, node):
+        return node in self._successors
+
+    def successors(self, node):
+        if node not in self._successors:
+            raise CallGraphError("unknown node: %r" % (node,))
+        return list(self._successors[node])
+
+    def predecessors(self, node):
+        if node not in self._predecessors:
+            raise CallGraphError("unknown node: %r" % (node,))
+        return list(self._predecessors[node])
+
+    def callers_of(self, node):
+        """Distinct callers of ``node`` (empty for unknown nodes)."""
+        seen = []
+        for caller in self._predecessors.get(node, []):
+            if caller not in seen:
+                seen.append(caller)
+        return seen
+
+    # -- traversal ----------------------------------------------------------------
+
+    def reachable_from(self, roots):
+        """Return the set of nodes reachable from ``roots`` (inclusive)."""
+        visited = set()
+        queue = deque()
+        for root in roots:
+            if root in self._successors and root not in visited:
+                visited.add(root)
+                queue.append(root)
+        while queue:
+            node = queue.popleft()
+            for successor in self._successors[node]:
+                if successor not in visited:
+                    visited.add(successor)
+                    queue.append(successor)
+        return visited
+
+    def path_exists(self, source, target):
+        """True if ``target`` is reachable from ``source``."""
+        if source not in self._successors:
+            return False
+        return target in self.reachable_from([source])
+
+    def __repr__(self):
+        return "CallGraph(%d nodes, %d edges)" % (
+            self.node_count, self.edge_count
+        )

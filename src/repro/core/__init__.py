@@ -1,0 +1,20 @@
+"""Public API facade.
+
+Two studies mirror the paper's two pipelines:
+
+- :class:`StaticStudy` — the large-scale static analysis (Section 3.1):
+  generate/accept a corpus, run the Figure 1 pipeline, and expose every
+  table/figure of Section 4.1.
+- :class:`DynamicStudy` — the semi-manual dynamic analysis (Section 3.2):
+  top-1K classification, controlled-page IAB measurements, and the
+  top-site crawl of Section 4.2.
+
+>>> from repro.core import StaticStudy
+>>> study = StaticStudy(universe_size=5000)
+>>> result = study.run()                       # doctest: +SKIP
+>>> print(study.table7())                      # doctest: +SKIP
+"""
+
+from repro.core.study import StaticStudy, DynamicStudy
+
+__all__ = ["StaticStudy", "DynamicStudy"]

@@ -1,0 +1,180 @@
+"""Study orchestration: one-call access to every paper artifact."""
+
+from repro.corpus.config import CorpusConfig
+from repro.corpus.generator import generate_corpus
+from repro.dynamic.apps import real_app_profiles, webview_iab_profiles
+from repro.dynamic.crawler import AdbCrawler
+from repro.dynamic.manual_study import ManualStudy
+from repro.dynamic.measurements import IabMeasurementHarness
+from repro.reporting import Table
+from repro.static_analysis.pipeline import (
+    PipelineOptions,
+    StaticAnalysisPipeline,
+)
+from repro.static_analysis import report as static_report
+from repro.util import DEFAULT_SEED
+from repro.web.sites import top_sites
+
+
+class StaticStudy:
+    """The ~146.5K-app static measurement study, at configurable scale."""
+
+    def __init__(self, universe_size=20_000, seed=DEFAULT_SEED, corpus=None,
+                 options=None):
+        if corpus is None:
+            corpus = generate_corpus(
+                CorpusConfig(universe_size=universe_size, seed=seed)
+            )
+        self.corpus = corpus
+        self.options = options or PipelineOptions()
+        self.pipeline = StaticAnalysisPipeline(corpus, options=self.options)
+        self.result = None
+        self._aggregator = None
+
+    def run(self, max_apps=None, progress=None):
+        """Run the pipeline; memoizes the result."""
+        self.result = self.pipeline.run(max_apps=max_apps, progress=progress)
+        self._aggregator = None
+        return self.result
+
+    @property
+    def aggregator(self):
+        if self.result is None:
+            self.run()
+        if self._aggregator is None:
+            self._aggregator = static_report.Aggregator(self.result)
+        return self._aggregator
+
+    # -- paper artifacts ----------------------------------------------------
+
+    def table2(self):
+        if self.result is None:
+            self.run()
+        return static_report.table2(self.result)
+
+    def table3(self):
+        return static_report.table3(self.aggregator)
+
+    def table4(self, top_n=5):
+        return static_report.table4(self.aggregator, top_n)
+
+    def table5(self, top_n=3):
+        return static_report.table5(self.aggregator, top_n)
+
+    def table7(self):
+        return static_report.table7(self.aggregator)
+
+    def figure3(self, top_n=10):
+        return static_report.figure3(self.aggregator, top_n)
+
+    def figure4(self):
+        return static_report.figure4(self.aggregator)
+
+    def usage_shares(self):
+        """(webview %, ct %, both %) of analyzed apps — the headline."""
+        aggregator = self.aggregator
+        total = self.result.analyzed or 1
+        return (
+            100.0 * aggregator.webview_apps / total,
+            100.0 * aggregator.ct_apps / total,
+            100.0 * aggregator.both_apps / total,
+        )
+
+
+class DynamicStudy:
+    """The top-1K semi-manual dynamic study."""
+
+    def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000):
+        self.seed = seed
+        self.sites = top_sites(site_count)
+        self.manual_study = ManualStudy(total_apps=total_apps, seed=seed)
+        self.harness = IabMeasurementHarness(seed=seed)
+        self._classifications = None
+        self._measurements = None
+        self._crawl = None
+
+    # -- Table 6 ------------------------------------------------------------
+
+    def classify_top_apps(self):
+        if self._classifications is None:
+            self._classifications = self.manual_study.run()
+        return self._classifications
+
+    def table6(self):
+        tally = ManualStudy.tally(self.classify_top_apps())
+        table = Table(
+            ["Classification of apps", "#apps"],
+            title="Table 6: Hyperlink clicking behavior in the top 1K apps",
+        )
+        for label, count in tally.items():
+            table.add_row(label, count)
+        return table
+
+    # -- Table 8 / Table 9 --------------------------------------------------------
+
+    def measure_iabs(self):
+        if self._measurements is None:
+            self._measurements = self.harness.run()
+        return self._measurements
+
+    def table8(self):
+        measurements = self.measure_iabs()
+        ordered = sorted(
+            measurements.values(), key=lambda m: -m.app.downloads
+        )
+        table = Table(
+            ["Downloads", "App", "Via", "HTML/JS Injected",
+             "JS Bridge Injected"],
+            title="Table 8: WebView injection and inferred intents",
+        )
+        for measurement in ordered:
+            table.add_row(
+                _abbrev(measurement.app.downloads),
+                measurement.app.name,
+                measurement.app.surface,
+                " ".join(measurement.inferred_script_intents()),
+                " ".join(measurement.inferred_bridge_intents()),
+            )
+        return table
+
+    def table9(self):
+        measurements = self.measure_iabs()
+        table = Table(
+            ["App", "Interface", "Method"],
+            title="Table 9: Web APIs accessed, per controlled-page server log",
+        )
+        for name in sorted(measurements):
+            measurement = measurements[name]
+            grouped = {}
+            for interface, method in measurement.webapi_pairs:
+                grouped.setdefault(interface, []).append(method)
+            first = True
+            for interface in sorted(grouped):
+                for method in sorted(set(grouped[interface])):
+                    table.add_row(name if first else "", interface, method)
+                    first = False
+        return table
+
+    # -- Figure 6 -----------------------------------------------------------------
+
+    def crawl_top_sites(self, apps=None):
+        if self._crawl is None:
+            if apps is None:
+                apps = webview_iab_profiles()
+            crawler = AdbCrawler(apps, sites=self.sites, seed=self.seed)
+            self._crawl = crawler.crawl()
+        return self._crawl
+
+    def figure6(self, app_name):
+        """Per-site-category mean distinct app-specific endpoints."""
+        crawl = self.crawl_top_sites()
+        return crawl.endpoint_summary(app_name)
+
+    def all_profiles(self):
+        return real_app_profiles()
+
+
+def _abbrev(value):
+    from repro.util import format_abbrev
+
+    return format_abbrev(value)

@@ -1,0 +1,24 @@
+"""Calibrated synthetic app-ecosystem generator.
+
+Substitutes for AndroZoo's real APK corpus: generates a Play Store catalog,
+an AndroZoo repository and full APK payloads whose ground-truth WebView/CT
+usage, SDK adoption, API-method mix, category distribution and failure
+rates are calibrated to the paper's published marginals (Tables 2-7,
+Figures 3-4). The static pipeline re-measures everything from the APK bytes.
+"""
+
+from repro.corpus.config import CorpusConfig, FunnelRatios
+from repro.corpus.profiles import AppSpec, SdkUse, generate_specs
+from repro.corpus.appgen import build_app_apk
+from repro.corpus.generator import Corpus, generate_corpus
+
+__all__ = [
+    "CorpusConfig",
+    "FunnelRatios",
+    "AppSpec",
+    "SdkUse",
+    "generate_specs",
+    "build_app_apk",
+    "Corpus",
+    "generate_corpus",
+]

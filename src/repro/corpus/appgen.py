@@ -1,0 +1,270 @@
+"""APK synthesis: turn an :class:`~repro.corpus.AppSpec` into APK bytes.
+
+The generated APK is structurally faithful: a launcher Activity whose
+``onCreate`` wires into bundled SDK initializers; SDK code under each SDK's
+real package prefix calling the WebView/CT APIs the spec demands; custom
+``WebView`` subclasses for dev-tool/hybrid SDKs; optional deep-link
+activities, dead code and Google-SDK classes. Everything downstream —
+decompilation, parsing, call graphs, labelling — works from these bytes.
+"""
+
+from repro.android import IntentFilter
+from repro.android.api import (
+    CT_LAUNCH_DESCRIPTOR,
+    CT_LAUNCH_METHOD,
+    CUSTOMTABS_BUILDER_CLASS,
+    CUSTOMTABS_INTENT_CLASS,
+    WEBVIEW_CLASS,
+    WEBVIEW_METHOD_DESCRIPTORS,
+)
+from repro.android.components import (
+    ACTION_MAIN,
+    ACTION_VIEW,
+    CATEGORY_BROWSABLE,
+    CATEGORY_DEFAULT,
+    CATEGORY_LAUNCHER,
+)
+from repro.apk.builder import ApkBuilder
+from repro.dex import ClassBuilder
+from repro.sdk.catalog import SdkCategory
+from repro.util import derive_seed, make_rng
+
+#: SDK types whose SDKs ship their own WebView subclass (dev tools such as
+#: AdvancedWebView/InAppWebView, and hybrid frameworks).
+_SUBCLASSING_CATEGORIES = (SdkCategory.DEV_TOOLS, SdkCategory.HYBRID)
+
+ACTIVITY_BASE = "android.app.Activity"
+
+
+def _emit_webview_calls(method, receiver_class, methods, url):
+    """Emit `new receiver()` + the requested WebView API calls."""
+    method.new_instance(receiver_class)
+    for name in methods:
+        descriptor = WEBVIEW_METHOD_DESCRIPTORS[name]
+        param_count = len(
+            descriptor[descriptor.index("(") + 1: descriptor.index(")")].split(",")
+        )
+        if name in ("loadUrl", "postUrl"):
+            method.const_string(url)
+        elif name == "evaluateJavascript":
+            method.const_string("console.log('ready')")
+        elif name == "addJavascriptInterface":
+            method.const_string("NativeBridge")
+        elif name == "removeJavascriptInterface":
+            method.const_string("NativeBridge")
+        elif name in ("loadData", "loadDataWithBaseURL"):
+            method.const_string("<html><body>inline</body></html>")
+        del param_count
+        method.invoke_virtual(receiver_class, name, descriptor)
+    method.return_void()
+
+
+def _emit_ct_launch(method, url):
+    """Emit a CustomTabsIntent.Builder().build().launchUrl(...) sequence."""
+    method.new_instance(CUSTOMTABS_BUILDER_CLASS)
+    method.invoke_direct(CUSTOMTABS_BUILDER_CLASS, "<init>", "()void")
+    method.invoke_virtual(CUSTOMTABS_BUILDER_CLASS, "build",
+                          "()" + CUSTOMTABS_INTENT_CLASS)
+    method.move_result()
+    method.const_string(url)
+    method.invoke_virtual(CUSTOMTABS_INTENT_CLASS, CT_LAUNCH_METHOD,
+                          CT_LAUNCH_DESCRIPTOR)
+    method.return_void()
+
+
+def _sdk_slug(sdk):
+    return "".join(c for c in sdk.name.lower() if c.isalnum()) or "sdk"
+
+
+def _sdk_classes(sdk_use, rng):
+    """Generate the dex classes one embedded SDK contributes."""
+    sdk = sdk_use.sdk
+    prefix = sdk.primary_package
+    slug = _sdk_slug(sdk)
+    classes = []
+    init_targets = []
+
+    if sdk_use.via_webview:
+        if sdk.category in _SUBCLASSING_CATEGORIES:
+            subclass_name = "%s.widget.%sWebView" % (prefix, slug.capitalize())
+            subclass = ClassBuilder(subclass_name, superclass=WEBVIEW_CLASS)
+            ctor = subclass.constructor("(android.content.Context)void")
+            ctor.invoke_super(WEBVIEW_CLASS, "<init>",
+                              "(android.content.Context)void")
+            ctor.return_void()
+            classes.append(subclass.build())
+            receiver = subclass_name
+        else:
+            receiver = WEBVIEW_CLASS
+        presenter = ClassBuilder("%s.internal.WebPresenter" % prefix)
+        present = presenter.method("present", "()void")
+        _emit_webview_calls(
+            present, receiver, sdk_use.webview_methods,
+            "https://cdn.%s.com/content" % slug,
+        )
+        classes.append(presenter.build())
+        init_targets.append(("%s.internal.WebPresenter" % prefix, "present"))
+
+    if sdk_use.via_customtabs:
+        launcher = ClassBuilder("%s.ct.TabLauncher" % prefix)
+        launch = launcher.method("launch", "()void")
+        _emit_ct_launch(launch, "https://auth.%s.com/start" % slug)
+        classes.append(launcher.build())
+        init_targets.append(("%s.ct.TabLauncher" % prefix, "launch"))
+
+    entry = ClassBuilder("%s.Sdk" % prefix)
+    init = entry.method("initialize", "()void")
+    for class_name, method_name in init_targets:
+        init.invoke_virtual(class_name, method_name, "()void")
+    init.return_void()
+    classes.append(entry.build())
+    del rng
+    return classes, "%s.Sdk" % prefix
+
+
+def _first_party_classes(spec):
+    """Classes for an app's own (non-SDK) WebView code."""
+    classes = []
+    package = spec.package
+    receiver = WEBVIEW_CLASS
+    if spec.first_party_subclass:
+        subclass_name = "%s.web.AppWebView" % package
+        subclass = ClassBuilder(subclass_name, superclass=WEBVIEW_CLASS)
+        ctor = subclass.constructor("(android.content.Context)void")
+        ctor.invoke_super(WEBVIEW_CLASS, "<init>",
+                          "(android.content.Context)void")
+        ctor.return_void()
+        classes.append(subclass.build())
+        receiver = subclass_name
+    panel = ClassBuilder("%s.web.WebPanel" % package)
+    render = panel.method("render", "()void")
+    _emit_webview_calls(
+        render, receiver, spec.first_party_webview_methods,
+        "https://www.%s.example/home" % package.split(".")[1],
+    )
+    classes.append(panel.build())
+    return classes, "%s.web.WebPanel" % package
+
+
+def _first_party_ct_class(spec):
+    launcher = ClassBuilder("%s.web.TabOpener" % spec.package)
+    open_tab = launcher.method("openTab", "()void")
+    _emit_ct_launch(open_tab, "https://links.%s.example/out"
+                    % spec.package.split(".")[1])
+    return launcher.build(), "%s.web.TabOpener" % spec.package
+
+
+def _deep_link_activity(spec):
+    """A BROWSABLE deep-link activity hosting first-party web content."""
+    name = "%s.LinkActivity" % spec.package
+    activity = ClassBuilder(name, superclass=ACTIVITY_BASE)
+    on_create = activity.method("onCreate", "(android.os.Bundle)void")
+    on_create.invoke_super(ACTIVITY_BASE, "onCreate",
+                           "(android.os.Bundle)void")
+    on_create.new_instance(WEBVIEW_CLASS)
+    on_create.const_string("https://www.%s.example/landing"
+                           % spec.package.split(".")[1])
+    on_create.invoke_virtual(WEBVIEW_CLASS, "loadUrl",
+                             WEBVIEW_METHOD_DESCRIPTORS["loadUrl"])
+    on_create.return_void()
+    return activity.build(), name
+
+
+def _dead_code_class(spec):
+    """WebView calls unreachable from any entry point (ablation target)."""
+    legacy = ClassBuilder("%s.internal.LegacyPreloader" % spec.package)
+    warm = legacy.method("warmCache", "()void")
+    warm.new_instance(WEBVIEW_CLASS)
+    warm.const_string("https://legacy.%s.example/preload"
+                      % spec.package.split(".")[1])
+    warm.invoke_virtual(WEBVIEW_CLASS, "loadUrl",
+                        WEBVIEW_METHOD_DESCRIPTORS["loadUrl"])
+    warm.invoke_virtual(WEBVIEW_CLASS, "loadData",
+                        WEBVIEW_METHOD_DESCRIPTORS["loadData"])
+    warm.return_void()
+    return legacy.build()
+
+
+def _google_sdk_class():
+    """Google's own SDK code (excluded from labelling, Section 3.1.4)."""
+    loader = ClassBuilder("com.google.android.gms.ads.AdLoader")
+    load = loader.method("load", "()void")
+    load.new_instance(WEBVIEW_CLASS)
+    load.const_string("https://googleads.g.doubleclick.net/mads/gma")
+    load.invoke_virtual(WEBVIEW_CLASS, "loadUrl",
+                        WEBVIEW_METHOD_DESCRIPTORS["loadUrl"])
+    load.return_void()
+    return loader.build()
+
+
+def build_app_apk(spec, seed=0):
+    """Build the APK bytes for one selected app spec.
+
+    Broken apps (``spec.broken``) yield deliberately corrupt bytes that
+    :func:`repro.apk.read_apk` rejects — the paper's 242 unanalyzable APKs.
+    """
+    rng = make_rng(derive_seed(seed, "apk", spec.package))
+    builder = ApkBuilder(spec.package, version_code=max(1, spec.index % 90))
+
+    main_activity_name = "%s.MainActivity" % spec.package
+    builder.manifest.add_activity(
+        main_activity_name, exported=True,
+        intent_filters=[IntentFilter(actions=[ACTION_MAIN],
+                                     categories=[CATEGORY_LAUNCHER])],
+    )
+    builder.manifest.permissions.append("android.permission.INTERNET")
+
+    main_activity = ClassBuilder(main_activity_name, superclass=ACTIVITY_BASE)
+    on_create = main_activity.method("onCreate", "(android.os.Bundle)void")
+    on_create.invoke_super(ACTIVITY_BASE, "onCreate",
+                           "(android.os.Bundle)void")
+
+    for sdk_use in spec.sdk_uses:
+        classes, init_class = _sdk_classes(sdk_use, rng)
+        builder.add_classes(classes)
+        on_create.invoke_static(init_class, "initialize", "()void")
+
+    if spec.first_party_webview_methods:
+        classes, panel_class = _first_party_classes(spec)
+        builder.add_classes(classes)
+        on_create.invoke_virtual(panel_class, "render", "()void")
+
+    if spec.first_party_ct:
+        ct_class, ct_name = _first_party_ct_class(spec)
+        builder.add_class(ct_class)
+        on_create.invoke_virtual(ct_name, "openTab", "()void")
+
+    if spec.bundles_google_sdk:
+        builder.add_class(_google_sdk_class())
+        on_create.invoke_virtual("com.google.android.gms.ads.AdLoader",
+                                 "load", "()void")
+
+    on_create.return_void()
+    builder.add_class(main_activity.build())
+
+    if spec.has_deep_link_activity:
+        activity_class, activity_name = _deep_link_activity(spec)
+        builder.add_class(activity_class)
+        hosts = ["www.%s.example" % spec.package.split(".")[1]]
+        if spec.is_browser:
+            hosts = []  # a browser handles every host
+        builder.manifest.add_activity(
+            activity_name, exported=True,
+            intent_filters=[IntentFilter(
+                actions=[ACTION_VIEW],
+                categories=[CATEGORY_BROWSABLE, CATEGORY_DEFAULT],
+                schemes=["http", "https"],
+                hosts=hosts,
+            )],
+        )
+
+    if spec.has_dead_code:
+        builder.add_class(_dead_code_class(spec))
+
+    data = builder.build_bytes()
+    if spec.broken:
+        # Corrupt the archive: truncate and scramble the tail.
+        cut = max(64, len(data) // 3)
+        scrambled = bytes((b ^ 0x5A) for b in data[:cut])
+        return scrambled
+    return data

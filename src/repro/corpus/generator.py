@@ -1,0 +1,87 @@
+"""Ecosystem assembly: specs -> Play Store + AndroZoo repository.
+
+:func:`generate_corpus` produces a :class:`Corpus` holding the populated
+store, repository and ground-truth specs. APK payloads for selected apps
+are archived lazily — they are synthesized only when the pipeline actually
+downloads them — so large universes stay cheap to create.
+"""
+
+import functools
+
+from repro.androzoo.repository import AndroZooRepository
+from repro.corpus.appgen import build_app_apk
+from repro.corpus.config import CorpusConfig
+from repro.corpus.profiles import generate_specs
+from repro.playstore.models import AppListing
+from repro.playstore.store import PlayStore
+from repro.sdk.catalog import build_catalog
+
+
+class Corpus:
+    """A generated ecosystem: store, repository, catalog, ground truth."""
+
+    def __init__(self, config, catalog, specs, store, repository):
+        self.config = config
+        self.catalog = catalog
+        self.specs = specs
+        self.store = store
+        self.repository = repository
+        self._by_package = {spec.package: spec for spec in specs}
+
+    def spec_for(self, package):
+        return self._by_package.get(package)
+
+    def selected_specs(self):
+        """Ground truth for apps surviving the Table 2 filters."""
+        return [spec for spec in self.specs if spec.selected]
+
+    def top_apps(self, count):
+        """Selected apps ranked by install count (descending)."""
+        ranked = sorted(
+            self.selected_specs(),
+            key=lambda spec: (-spec.installs, spec.index),
+        )
+        return ranked[:count]
+
+    def __repr__(self):
+        return "Corpus(universe=%d, selected=%d)" % (
+            len(self.specs), len(self.selected_specs())
+        )
+
+
+def generate_corpus(config=None, catalog=None):
+    """Generate the full synthetic ecosystem."""
+    config = config or CorpusConfig()
+    catalog = catalog or build_catalog()
+    specs = generate_specs(config, catalog)
+
+    store = PlayStore()
+    repository = AndroZooRepository()
+
+    for spec in specs:
+        if spec.listed:
+            store.publish(
+                AppListing(
+                    spec.package,
+                    spec.title,
+                    spec.category,
+                    spec.installs,
+                    spec.updated,
+                    developer="dev.%s" % spec.package.split(".")[1],
+                )
+            )
+        else:
+            store.delist(spec.package)
+
+        # AndroZoo archived every app it ever saw on the Play Store;
+        # full payloads are synthesized lazily for selected apps only.
+        version_code = max(1, spec.index % 90)
+        if spec.selected:
+            payload = functools.partial(build_app_apk, spec, config.seed)
+        else:
+            payload = b"APKSTUB:" + spec.package.encode("utf-8")
+        repository.archive(
+            spec.package, version_code, spec.updated, payload
+        )
+
+    return Corpus(config, catalog, specs, store, repository)

@@ -1,0 +1,342 @@
+"""App archetypes: ground-truth specifications sampled per app.
+
+An :class:`AppSpec` is the generator's ground truth for one app — its store
+metadata, funnel fate, WebView/CT usage, embedded SDKs and structural noise
+(deep links, dead code, subclasses). The APK synthesizer then realizes the
+spec as real bytes, and the static pipeline must re-derive the spec's
+observable properties from those bytes alone.
+"""
+
+import datetime
+
+from repro.playstore.models import AppCategory
+from repro.sdk.catalog import SdkCategory
+from repro.util import derive_seed, make_rng, weighted_choice, zipf_installs
+
+#: Category weights for selected (popular, maintained) apps. Game
+#: categories dominate the paper's top-10 usage plot (Figure 3).
+CATEGORY_WEIGHTS = {
+    AppCategory.PUZZLE: 0.090,
+    AppCategory.SIMULATION: 0.080,
+    AppCategory.ACTION: 0.080,
+    AppCategory.ARCADE: 0.078,
+    AppCategory.CASUAL: 0.070,
+    AppCategory.EDUCATION: 0.080,
+    AppCategory.ENTERTAINMENT: 0.068,
+    AppCategory.TOOLS: 0.065,
+    AppCategory.LIFESTYLE: 0.048,
+    AppCategory.FINANCE: 0.040,
+    AppCategory.SOCIAL: 0.035,
+    AppCategory.COMMUNICATION: 0.030,
+    AppCategory.MUSIC: 0.038,
+    AppCategory.NEWS: 0.030,
+    AppCategory.SHOPPING: 0.040,
+    AppCategory.SPORTS: 0.030,
+    AppCategory.TRAVEL: 0.028,
+    AppCategory.PRODUCTIVITY: 0.040,
+    AppCategory.HEALTH: 0.030,
+    AppCategory.PHOTOGRAPHY: 0.025,
+}
+
+#: Category-affinity multipliers applied to SDK sampling weights
+#: (Section 4.1: games use CT social SDKs heavily; education apps use
+#: fewer ad SDKs and more payment SDKs; finance loves payments/auth).
+_AFFINITY = {
+    "game": {
+        SdkCategory.ADVERTISING: 1.5,
+        SdkCategory.ENGAGEMENT: 1.4,
+        SdkCategory.SOCIAL: 1.7,
+        SdkCategory.PAYMENTS: 0.5,
+        SdkCategory.HYBRID: 1.5,
+    },
+    AppCategory.EDUCATION: {
+        SdkCategory.ADVERTISING: 0.60,
+        SdkCategory.PAYMENTS: 2.6,
+    },
+    AppCategory.FINANCE: {
+        SdkCategory.PAYMENTS: 3.0,
+        SdkCategory.AUTHENTICATION: 2.2,
+        SdkCategory.ADVERTISING: 0.35,
+    },
+    AppCategory.SOCIAL: {
+        SdkCategory.SOCIAL: 2.0,
+        SdkCategory.USER_SUPPORT: 1.4,
+    },
+    AppCategory.COMMUNICATION: {
+        SdkCategory.SOCIAL: 1.8,
+        SdkCategory.ADVERTISING: 0.8,
+    },
+    AppCategory.SHOPPING: {
+        SdkCategory.PAYMENTS: 2.5,
+        SdkCategory.USER_SUPPORT: 2.0,
+        SdkCategory.ADVERTISING: 0.7,
+    },
+    AppCategory.NEWS: {
+        SdkCategory.ADVERTISING: 1.25,
+        SdkCategory.ENGAGEMENT: 1.3,
+    },
+    AppCategory.TOOLS: {
+        SdkCategory.UTILITY: 1.6,
+    },
+}
+
+
+def affinity(app_category, sdk_category):
+    """Sampling-weight multiplier for an SDK type in an app category."""
+    table = None
+    if app_category.is_game:
+        table = _AFFINITY["game"]
+    else:
+        table = _AFFINITY.get(app_category)
+    if table is None:
+        return 1.0
+    return table.get(sdk_category, 1.0)
+
+
+#: The real apps the paper's dynamic study examines (Table 8 + Discord),
+#: pinned to the top installs ranks of the generated corpus.
+REAL_TOP_APPS = (
+    ("com.facebook.katana", "Facebook", 8_400_000_000, AppCategory.SOCIAL),
+    ("com.instagram.android", "Instagram", 4_600_000_000, AppCategory.SOCIAL),
+    ("com.snapchat.android", "Snapchat", 2_340_000_000, AppCategory.SOCIAL),
+    ("com.twitter.android", "Twitter", 1_380_000_000, AppCategory.SOCIAL),
+    ("com.linkedin.android", "LinkedIn", 1_200_000_000, AppCategory.SOCIAL),
+    ("com.pinterest", "Pinterest", 840_000_000, AppCategory.SOCIAL),
+    ("in.mohalla.video", "Moj", 289_000_000, AppCategory.SOCIAL),
+    ("io.chingari.app", "Chingari", 97_500_000, AppCategory.SOCIAL),
+    ("com.reddit.frontpage", "Reddit", 124_000_000, AppCategory.SOCIAL),
+    ("kik.android", "Kik", 176_500_000, AppCategory.COMMUNICATION),
+    ("com.discord", "Discord", 500_000_000, AppCategory.COMMUNICATION),
+)
+
+_WORDS_A = ("Super", "Magic", "Daily", "Smart", "Happy", "Epic", "Pixel",
+            "Turbo", "Cosmic", "Mini", "Mega", "Prime", "Swift", "Lucky")
+_WORDS_B = ("Runner", "Planner", "Player", "Quest", "Chat", "Wallet",
+            "Camera", "Garden", "Racing", "Notes", "Radio", "Market",
+            "Fitness", "Saga")
+_TLDS = ("com", "io", "net", "co", "app")
+
+
+class SdkUse:
+    """One SDK embedded in one app, with the mechanisms it exercises."""
+
+    def __init__(self, sdk, via_webview, via_customtabs, webview_methods=()):
+        self.sdk = sdk
+        self.via_webview = via_webview
+        self.via_customtabs = via_customtabs
+        #: WebView API methods this SDK's code calls in this app.
+        self.webview_methods = tuple(webview_methods)
+
+    def __repr__(self):
+        return "SdkUse(%s, wv=%s, ct=%s)" % (
+            self.sdk.name, self.via_webview, self.via_customtabs
+        )
+
+
+class AppSpec:
+    """Ground truth for one generated app."""
+
+    def __init__(self, index, package, title, category, installs, updated,
+                 listed, popular, maintained, broken=False,
+                 uses_webview=False, uses_customtabs=False, sdk_uses=(),
+                 first_party_webview_methods=(), first_party_ct=False,
+                 has_deep_link_activity=False, has_dead_code=False,
+                 first_party_subclass=False, bundles_google_sdk=False,
+                 is_browser=False):
+        self.index = index
+        self.package = package
+        self.title = title
+        self.category = category
+        self.installs = installs
+        self.updated = updated
+        self.listed = listed
+        self.popular = popular
+        self.maintained = maintained
+        self.broken = broken
+        self.uses_webview = uses_webview
+        self.uses_customtabs = uses_customtabs
+        self.sdk_uses = list(sdk_uses)
+        self.first_party_webview_methods = tuple(first_party_webview_methods)
+        self.first_party_ct = first_party_ct
+        self.has_deep_link_activity = has_deep_link_activity
+        self.has_dead_code = has_dead_code
+        self.first_party_subclass = first_party_subclass
+        self.bundles_google_sdk = bundles_google_sdk
+        self.is_browser = is_browser
+
+    @property
+    def selected(self):
+        """True if the app survives the paper's Table 2 filters."""
+        return self.listed and self.popular and self.maintained
+
+    @property
+    def uses_both(self):
+        return self.uses_webview and self.uses_customtabs
+
+    def webview_sdks(self):
+        return [u.sdk for u in self.sdk_uses if u.via_webview]
+
+    def ct_sdks(self):
+        return [u.sdk for u in self.sdk_uses if u.via_customtabs]
+
+    def __repr__(self):
+        return "AppSpec(%s, %s, wv=%s ct=%s, %d sdks)" % (
+            self.package, self.category, self.uses_webview,
+            self.uses_customtabs, len(self.sdk_uses)
+        )
+
+
+def _package_name(rng, index):
+    vendor = "%s%s" % (
+        rng.choice(_WORDS_A).lower(), rng.choice(_WORDS_B).lower()
+    )
+    return "%s.%s.app%d" % (rng.choice(_TLDS), vendor, index)
+
+
+def _title(rng):
+    return "%s %s" % (rng.choice(_WORDS_A), rng.choice(_WORDS_B))
+
+
+def _sample_methods(rng, profile):
+    """Sample a WebView method set from a per-method probability profile.
+
+    Guarantees at least one content-populating method (Section 3.1.4: an
+    SDK must call loadUrl/loadData/loadDataWithBaseURL to show content).
+    """
+    methods = [m for m, p in profile.items() if rng.random() < p]
+    if not any(m in ("loadUrl", "loadData", "loadDataWithBaseURL")
+               for m in methods):
+        methods.append("loadUrl")
+    return tuple(sorted(set(methods)))
+
+
+def _sample_sdks(rng, config, catalog, app_category, mechanism):
+    """Sample the SDK set for one mechanism ('webview' or 'ct')."""
+    if mechanism == "webview":
+        candidates = [s for s in catalog if s.uses_webview]
+        weights = {
+            s: s.webview_apps * affinity(app_category, s.category)
+            for s in candidates
+        }
+    else:
+        candidates = [s for s in catalog if s.uses_customtabs]
+        weights = {
+            s: s.ct_apps * affinity(app_category, s.category)
+            for s in candidates
+        }
+    count = weighted_choice(rng, config.sdk_count_weights)
+    chosen = []
+    for _ in range(count):
+        pick = weighted_choice(rng, weights)
+        if pick not in chosen:
+            chosen.append(pick)
+    return chosen
+
+
+def _date_between(rng, start, end):
+    days = (end - start).days
+    return start + datetime.timedelta(days=rng.randrange(days + 1))
+
+
+def build_spec(config, catalog, index, pinned=None):
+    """Build the AppSpec for app number ``index`` of the universe."""
+    rng = make_rng(derive_seed(config.seed, "app", index))
+
+    if pinned is not None:
+        package, title, installs, category = pinned
+        listed = popular = maintained = True
+        updated = _date_between(
+            rng, config.update_cutoff, config.snapshot_date
+        )
+    else:
+        package = _package_name(rng, index)
+        title = _title(rng)
+        category = weighted_choice(rng, CATEGORY_WEIGHTS)
+        listed = rng.random() < config.funnel.found_on_play
+        popular = listed and rng.random() < config.funnel.popular
+        maintained = popular and rng.random() < config.funnel.maintained
+        if popular:
+            installs = zipf_installs(rng, rank=1 + index)
+        else:
+            installs = rng.choice((1_000, 5_000, 10_000, 50_000))
+        if maintained:
+            updated = _date_between(
+                rng, config.update_cutoff, config.snapshot_date
+            )
+        else:
+            updated = _date_between(
+                rng, datetime.date(2015, 1, 1),
+                config.update_cutoff - datetime.timedelta(days=1),
+            )
+
+    spec = AppSpec(index, package, title, category, installs, updated,
+                   listed, popular, maintained)
+    if not spec.selected:
+        return spec
+
+    spec.broken = rng.random() > config.funnel.analyzable
+    spec.is_browser = rng.random() < config.p_browser_app
+
+    # Joint WebView/CT usage class.
+    roll = rng.random()
+    p_both = config.p_both
+    p_wv_only = config.p_webview - config.p_both
+    p_ct_only = config.p_customtabs - config.p_both
+    if roll < p_both:
+        spec.uses_webview = spec.uses_customtabs = True
+    elif roll < p_both + p_wv_only:
+        spec.uses_webview = True
+    elif roll < p_both + p_wv_only + p_ct_only:
+        spec.uses_customtabs = True
+
+    sdk_uses = {}
+    if spec.uses_webview:
+        if rng.random() < config.p_webview_via_sdk:
+            for sdk in _sample_sdks(rng, config, catalog, category, "webview"):
+                methods = _sample_methods(rng, sdk.method_profile())
+                sdk_uses[sdk.name] = SdkUse(sdk, True, False, methods)
+        else:
+            spec.first_party_webview_methods = _sample_methods(
+                rng, config.first_party_method_profile
+            )
+            spec.first_party_subclass = (
+                rng.random() < config.p_first_party_subclass
+            )
+    if spec.uses_customtabs:
+        if rng.random() < config.p_ct_via_sdk:
+            for sdk in _sample_sdks(rng, config, catalog, category, "ct"):
+                existing = sdk_uses.get(sdk.name)
+                if existing is not None:
+                    sdk_uses[sdk.name] = SdkUse(
+                        sdk, existing.via_webview, True,
+                        existing.webview_methods,
+                    )
+                else:
+                    sdk_uses[sdk.name] = SdkUse(sdk, False, True)
+        else:
+            spec.first_party_ct = True
+    spec.sdk_uses = list(sdk_uses.values())
+
+    if spec.uses_webview:
+        spec.has_deep_link_activity = (
+            rng.random() < config.p_deep_link_activity
+        )
+        spec.bundles_google_sdk = rng.random() < config.p_google_sdk
+    else:
+        # First-party content hosts: a WebView lives only inside a
+        # BROWSABLE deep-link activity; the pipeline's filter must keep
+        # these out of the third-party usage counts.
+        spec.has_deep_link_activity = (
+            rng.random() < config.p_deep_link_host_nonwebview
+        )
+    spec.has_dead_code = rng.random() < config.p_dead_code
+    return spec
+
+
+def generate_specs(config, catalog):
+    """Generate specs for the whole universe; real top apps pinned first."""
+    specs = []
+    for index in range(config.universe_size):
+        pinned = REAL_TOP_APPS[index] if index < len(REAL_TOP_APPS) else None
+        specs.append(build_spec(config, catalog, index, pinned=pinned))
+    return specs

@@ -1,0 +1,5 @@
+"""JADX-like decompiler: APK bytes -> text manifest + Java sources."""
+
+from repro.decompiler.jadx import Decompiler, DecompiledApp
+
+__all__ = ["Decompiler", "DecompiledApp"]

@@ -1,0 +1,40 @@
+"""Simplified DEX bytecode substrate.
+
+Real Android apps ship Dalvik Executable (DEX) files; Androguard builds call
+graphs from their ``invoke-*`` instructions. This package implements a
+simplified but binary-faithful equivalent: a class/method/instruction model
+(:mod:`repro.dex.model`), a compact binary format with a shared string pool
+(:mod:`repro.dex.binary`), and a small assembler API used by the corpus
+generator to emit app code (:mod:`repro.dex.assembler`).
+"""
+
+from repro.dex.constants import Opcode, AccessFlag
+from repro.dex.model import (
+    DexFile,
+    DexClass,
+    DexMethod,
+    DexField,
+    Instruction,
+    MethodRef,
+)
+from repro.dex.binary import serialize_dex, deserialize_dex
+from repro.dex.assembler import ClassBuilder, MethodBuilder
+from repro.dex.disassembler import disassemble, disassemble_class, assemble
+
+__all__ = [
+    "Opcode",
+    "AccessFlag",
+    "DexFile",
+    "DexClass",
+    "DexMethod",
+    "DexField",
+    "Instruction",
+    "MethodRef",
+    "serialize_dex",
+    "deserialize_dex",
+    "ClassBuilder",
+    "MethodBuilder",
+    "disassemble",
+    "disassemble_class",
+    "assemble",
+]

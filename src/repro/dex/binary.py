@@ -1,0 +1,264 @@
+"""Binary (de)serialization for the simplified DEX format.
+
+Layout (all integers little-endian):
+
+    magic            6 bytes  (b"sdex\\x01\\x00")
+    string_pool_len  u32
+    string_pool      repeated (u16 length, utf-8 bytes)
+    class_count      u32
+    classes          repeated class records
+
+String-bearing fields (class names, method names, descriptors, string
+constants) are stored as u32 indexes into the shared string pool, like a
+real DEX file's string_ids section.
+"""
+
+import struct
+
+from repro.dex.constants import DEX_MAGIC, Opcode, AccessFlag
+from repro.dex.model import (
+    DexClass,
+    DexField,
+    DexFile,
+    DexMethod,
+    Instruction,
+    MethodRef,
+)
+from repro.errors import DexError
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+
+
+class _Writer:
+    def __init__(self):
+        self.parts = []
+
+    def u8(self, value):
+        self.parts.append(bytes([value & 0xFF]))
+
+    def u16(self, value):
+        self.parts.append(_U16.pack(value))
+
+    def u32(self, value):
+        self.parts.append(_U32.pack(value))
+
+    def i32(self, value):
+        self.parts.append(_I32.pack(value))
+
+    def raw(self, data):
+        self.parts.append(data)
+
+    def getvalue(self):
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, data):
+        self.data = data
+        self.offset = 0
+
+    def u8(self):
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def u16(self):
+        (value,) = _U16.unpack_from(self.data, self.offset)
+        self.offset += 2
+        return value
+
+    def u32(self):
+        (value,) = _U32.unpack_from(self.data, self.offset)
+        self.offset += 4
+        return value
+
+    def i32(self):
+        (value,) = _I32.unpack_from(self.data, self.offset)
+        self.offset += 4
+        return value
+
+    def raw(self, length):
+        chunk = self.data[self.offset: self.offset + length]
+        if len(chunk) != length:
+            raise DexError("truncated dex data")
+        self.offset += length
+        return chunk
+
+
+class _StringPool:
+    def __init__(self):
+        self.strings = []
+        self.index = {}
+
+    def intern(self, value):
+        if value in self.index:
+            return self.index[value]
+        position = len(self.strings)
+        self.strings.append(value)
+        self.index[value] = position
+        return position
+
+
+def _collect_strings(dex_file, pool):
+    for dex_class in dex_file.classes:
+        pool.intern(dex_class.name)
+        pool.intern(dex_class.superclass or "java.lang.Object")
+        pool.intern(dex_class.source_file)
+        for interface in dex_class.interfaces:
+            pool.intern(interface)
+        for field in dex_class.fields:
+            pool.intern(field.name)
+            pool.intern(field.type_name)
+        for method in dex_class.methods:
+            pool.intern(method.name)
+            pool.intern(method.descriptor)
+            for instruction in method.instructions:
+                operand = instruction.operand
+                if isinstance(operand, MethodRef):
+                    pool.intern(operand.class_name)
+                    pool.intern(operand.method_name)
+                    pool.intern(operand.descriptor)
+                elif isinstance(operand, str):
+                    pool.intern(operand)
+
+
+def _write_instruction(writer, pool, instruction):
+    writer.u8(int(instruction.opcode))
+    operand = instruction.operand
+    if instruction.opcode.is_invoke:
+        writer.u32(pool.intern(operand.class_name))
+        writer.u32(pool.intern(operand.method_name))
+        writer.u32(pool.intern(operand.descriptor))
+    elif instruction.opcode in (Opcode.CONST_STRING, Opcode.NEW_INSTANCE):
+        writer.u32(pool.intern(operand))
+    elif instruction.opcode in (Opcode.CONST_INT, Opcode.IF_EQZ,
+                                Opcode.IF_NEZ, Opcode.GOTO):
+        writer.i32(int(operand or 0))
+    elif instruction.opcode in (Opcode.IGET, Opcode.IPUT,
+                                Opcode.SGET, Opcode.SPUT):
+        class_name, field_name = operand
+        writer.u32(pool.intern(class_name))
+        writer.u32(pool.intern(field_name))
+    else:
+        # No operand: NOP, RETURN*, THROW, MOVE, MOVE_RESULT.
+        pass
+
+
+def _read_instruction(reader, strings):
+    try:
+        opcode = Opcode(reader.u8())
+    except ValueError as exc:
+        raise DexError("unknown opcode: %s" % exc)
+    if opcode.is_invoke:
+        ref = MethodRef(
+            strings[reader.u32()], strings[reader.u32()], strings[reader.u32()]
+        )
+        return Instruction(opcode, ref)
+    if opcode in (Opcode.CONST_STRING, Opcode.NEW_INSTANCE):
+        return Instruction(opcode, strings[reader.u32()])
+    if opcode in (Opcode.CONST_INT, Opcode.IF_EQZ, Opcode.IF_NEZ, Opcode.GOTO):
+        return Instruction(opcode, reader.i32())
+    if opcode in (Opcode.IGET, Opcode.IPUT, Opcode.SGET, Opcode.SPUT):
+        return Instruction(opcode, (strings[reader.u32()], strings[reader.u32()]))
+    return Instruction(opcode)
+
+
+def serialize_dex(dex_file):
+    """Serialize a :class:`DexFile` to bytes."""
+    pool = _StringPool()
+    _collect_strings(dex_file, pool)
+
+    body = _Writer()
+    body.u32(len(dex_file.classes))
+    for dex_class in dex_file.classes:
+        body.u32(pool.intern(dex_class.name))
+        body.u32(pool.intern(dex_class.superclass or "java.lang.Object"))
+        body.u32(pool.intern(dex_class.source_file))
+        body.u32(int(dex_class.flags))
+        body.u16(len(dex_class.interfaces))
+        for interface in dex_class.interfaces:
+            body.u32(pool.intern(interface))
+        body.u16(len(dex_class.fields))
+        for field in dex_class.fields:
+            body.u32(pool.intern(field.name))
+            body.u32(pool.intern(field.type_name))
+            body.u32(int(field.flags))
+        body.u16(len(dex_class.methods))
+        for method in dex_class.methods:
+            body.u32(pool.intern(method.name))
+            body.u32(pool.intern(method.descriptor))
+            body.u32(int(method.flags))
+            body.u32(len(method.instructions))
+            for instruction in method.instructions:
+                _write_instruction(body, pool, instruction)
+
+    header = _Writer()
+    header.raw(DEX_MAGIC)
+    header.u32(len(pool.strings))
+    for value in pool.strings:
+        encoded = value.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise DexError("string too long for pool: %d bytes" % len(encoded))
+        header.u16(len(encoded))
+        header.raw(encoded)
+    return header.getvalue() + body.getvalue()
+
+
+def deserialize_dex(data):
+    """Parse bytes produced by :func:`serialize_dex` back into a DexFile."""
+    if not data.startswith(DEX_MAGIC):
+        raise DexError("bad dex magic")
+    reader = _Reader(data)
+    reader.raw(len(DEX_MAGIC))
+    try:
+        string_count = reader.u32()
+        strings = []
+        for _ in range(string_count):
+            length = reader.u16()
+            strings.append(reader.raw(length).decode("utf-8"))
+        class_count = reader.u32()
+        classes = []
+        for _ in range(class_count):
+            name = strings[reader.u32()]
+            superclass = strings[reader.u32()]
+            source_file = strings[reader.u32()]
+            flags = AccessFlag(reader.u32())
+            interfaces = [strings[reader.u32()] for _ in range(reader.u16())]
+            fields = []
+            for _ in range(reader.u16()):
+                fields.append(
+                    DexField(
+                        strings[reader.u32()],
+                        strings[reader.u32()],
+                        AccessFlag(reader.u32()),
+                    )
+                )
+            methods = []
+            for _ in range(reader.u16()):
+                method_name = strings[reader.u32()]
+                descriptor = strings[reader.u32()]
+                method_flags = AccessFlag(reader.u32())
+                instruction_count = reader.u32()
+                instructions = [
+                    _read_instruction(reader, strings)
+                    for _ in range(instruction_count)
+                ]
+                methods.append(
+                    DexMethod(method_name, descriptor, method_flags, instructions)
+                )
+            classes.append(
+                DexClass(
+                    name,
+                    superclass=superclass,
+                    interfaces=interfaces,
+                    flags=flags,
+                    fields=fields,
+                    methods=methods,
+                    source_file=source_file,
+                )
+            )
+    except (IndexError, struct.error) as exc:
+        raise DexError("corrupt dex data: %s" % exc)
+    return DexFile(classes)

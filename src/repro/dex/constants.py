@@ -1,0 +1,69 @@
+"""Opcodes and access flags for the simplified DEX format.
+
+The opcode set is a curated subset of Dalvik's: enough to express object
+construction, virtual/static/direct calls, string constants, field access
+and control flow — which is all the paper's static pipeline inspects.
+"""
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Instruction opcodes."""
+
+    NOP = 0x00
+    CONST_STRING = 0x1A        # operand: string
+    CONST_INT = 0x12           # operand: int
+    NEW_INSTANCE = 0x22        # operand: class name
+    INVOKE_VIRTUAL = 0x6E      # operand: MethodRef
+    INVOKE_SUPER = 0x6F        # operand: MethodRef
+    INVOKE_DIRECT = 0x70       # operand: MethodRef (constructors, private)
+    INVOKE_STATIC = 0x71       # operand: MethodRef
+    INVOKE_INTERFACE = 0x72    # operand: MethodRef
+    IGET = 0x52                # operand: (class, field)
+    IPUT = 0x59                # operand: (class, field)
+    SGET = 0x60                # operand: (class, field)
+    SPUT = 0x67                # operand: (class, field)
+    IF_EQZ = 0x38              # operand: branch offset
+    IF_NEZ = 0x39              # operand: branch offset
+    GOTO = 0x28                # operand: branch offset
+    RETURN_VOID = 0x0E
+    RETURN = 0x0F
+    THROW = 0x27
+    MOVE = 0x01
+    MOVE_RESULT = 0x0A
+
+    @property
+    def is_invoke(self):
+        return self in _INVOKE_OPCODES
+
+
+_INVOKE_OPCODES = frozenset(
+    {
+        Opcode.INVOKE_VIRTUAL,
+        Opcode.INVOKE_SUPER,
+        Opcode.INVOKE_DIRECT,
+        Opcode.INVOKE_STATIC,
+        Opcode.INVOKE_INTERFACE,
+    }
+)
+
+INVOKE_OPCODES = _INVOKE_OPCODES
+
+
+class AccessFlag(enum.IntFlag):
+    """Class/method access flags (Dalvik subset)."""
+
+    PUBLIC = 0x0001
+    PRIVATE = 0x0002
+    PROTECTED = 0x0004
+    STATIC = 0x0008
+    FINAL = 0x0010
+    INTERFACE = 0x0200
+    ABSTRACT = 0x0400
+    SYNTHETIC = 0x1000
+    CONSTRUCTOR = 0x10000
+
+
+#: Magic prefix for serialized simplified-DEX files ("sdex" + version).
+DEX_MAGIC = b"sdex\x01\x00"

@@ -1,0 +1,247 @@
+"""Smali-style text disassembly for simplified DEX.
+
+Baksmali/Androguard expose dex as readable assembly; analysts use it when
+decompiled Java is unavailable (heavily obfuscated classes). This module
+renders our simplified-DEX classes in the same spirit — one ``.class``
+block per class with typed method frames — and parses the format back,
+giving the toolchain a second, bytecode-level round-trip besides Java.
+"""
+
+from repro.dex.constants import AccessFlag, Opcode
+from repro.dex.model import (
+    DexClass,
+    DexField,
+    DexFile,
+    DexMethod,
+    Instruction,
+    MethodRef,
+)
+from repro.errors import DexError
+
+_FLAG_NAMES = (
+    (AccessFlag.PUBLIC, "public"),
+    (AccessFlag.PRIVATE, "private"),
+    (AccessFlag.PROTECTED, "protected"),
+    (AccessFlag.STATIC, "static"),
+    (AccessFlag.FINAL, "final"),
+    (AccessFlag.INTERFACE, "interface"),
+    (AccessFlag.ABSTRACT, "abstract"),
+    (AccessFlag.SYNTHETIC, "synthetic"),
+    (AccessFlag.CONSTRUCTOR, "constructor"),
+)
+
+
+def _flags_text(flags):
+    return " ".join(name for flag, name in _FLAG_NAMES if flags & flag)
+
+
+def _parse_flags(words):
+    flags = AccessFlag(0)
+    lookup = {name: flag for flag, name in _FLAG_NAMES}
+    for word in words:
+        if word not in lookup:
+            raise DexError("unknown access flag %r" % word)
+        flags |= lookup[word]
+    return flags
+
+
+#: Characters that str.splitlines() treats as line boundaries (beyond
+#: \n/\r) — all must be escaped to keep the format line-based.
+_LINE_BREAKERS = "\v\f\x1c\x1d\x1e\x85\u2028\u2029"
+
+
+def _escape(text):
+    out = []
+    for char in text:
+        if char == "\\":
+            out.append("\\\\")
+        elif char == '"':
+            out.append('\\"')
+        elif char == "\n":
+            out.append("\\n")
+        elif char == "\r":
+            out.append("\\r")
+        elif char == "\t":
+            out.append("\\t")
+        elif ord(char) < 0x20 or char in _LINE_BREAKERS:
+            out.append("\\u%04x" % ord(char))
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def _unescape(text):
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            escape = text[index + 1]
+            if escape == "u" and index + 5 < len(text):
+                try:
+                    out.append(chr(int(text[index + 2: index + 6], 16)))
+                    index += 6
+                    continue
+                except ValueError:
+                    pass
+            mapping = {"\\": "\\", '"': '"', "n": "\n", "r": "\r",
+                       "t": "\t"}
+            out.append(mapping.get(escape, escape))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def disassemble_class(dex_class):
+    """Render one class as smali-style text."""
+    lines = []
+    flags = _flags_text(dex_class.flags)
+    lines.append(".class %s%s" % (flags + " " if flags else "",
+                                  dex_class.name))
+    lines.append(".super %s" % (dex_class.superclass or "java.lang.Object"))
+    for interface in dex_class.interfaces:
+        lines.append(".implements %s" % interface)
+    lines.append(".source \"%s\"" % _escape(dex_class.source_file))
+    for field in dex_class.fields:
+        field_flags = _flags_text(field.flags)
+        lines.append(".field %s%s:%s" % (
+            field_flags + " " if field_flags else "", field.name,
+            field.type_name,
+        ))
+    for method in dex_class.methods:
+        method_flags = _flags_text(method.flags)
+        lines.append(".method %s%s%s" % (
+            method_flags + " " if method_flags else "", method.name,
+            method.descriptor,
+        ))
+        for instruction in method.instructions:
+            lines.append("    " + _instruction_text(instruction))
+        lines.append(".end method")
+    lines.append(".end class")
+    return "\n".join(lines) + "\n"
+
+
+def _instruction_text(instruction):
+    opcode = instruction.opcode
+    mnemonic = opcode.name.lower().replace("_", "-")
+    operand = instruction.operand
+    if opcode.is_invoke:
+        return "%s {%s->%s%s}" % (
+            mnemonic, operand.class_name, operand.method_name,
+            operand.descriptor,
+        )
+    if opcode == Opcode.CONST_STRING:
+        return '%s "%s"' % (mnemonic, _escape(operand))
+    if opcode == Opcode.NEW_INSTANCE:
+        return "%s %s" % (mnemonic, operand)
+    if opcode in (Opcode.CONST_INT, Opcode.IF_EQZ, Opcode.IF_NEZ,
+                  Opcode.GOTO):
+        return "%s %d" % (mnemonic, operand or 0)
+    if opcode in (Opcode.IGET, Opcode.IPUT, Opcode.SGET, Opcode.SPUT):
+        return "%s %s->%s" % (mnemonic, operand[0], operand[1])
+    return mnemonic
+
+
+def disassemble(dex_file):
+    """Render a whole DexFile."""
+    return "\n".join(disassemble_class(c) for c in dex_file.classes)
+
+
+# -- assembler (text -> model) --------------------------------------------------
+
+def assemble(text):
+    """Parse smali-style text back into a :class:`DexFile`."""
+    classes = []
+    current = None
+    current_method = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith(".class "):
+            words = line[len(".class "):].split()
+            current = DexClass(words[-1], flags=_parse_flags(words[:-1]))
+            classes.append(current)
+        elif line.startswith(".super "):
+            _require(current, line)
+            current.superclass = line[len(".super "):].strip()
+        elif line.startswith(".implements "):
+            _require(current, line)
+            current.interfaces.append(line[len(".implements "):].strip())
+        elif line.startswith(".source "):
+            _require(current, line)
+            current.source_file = _unescape(
+                line[len(".source "):].strip().strip('"')
+            )
+        elif line.startswith(".field "):
+            _require(current, line)
+            body = line[len(".field "):]
+            words = body.split()
+            name_and_type = words[-1]
+            if ":" not in name_and_type:
+                raise DexError("malformed field line: %r" % line)
+            name, type_name = name_and_type.split(":", 1)
+            current.fields.append(
+                DexField(name, type_name, _parse_flags(words[:-1]))
+            )
+        elif line.startswith(".method "):
+            _require(current, line)
+            body = line[len(".method "):]
+            words = body.split()
+            signature = words[-1]
+            paren = signature.index("(")
+            current_method = DexMethod(
+                signature[:paren], signature[paren:],
+                _parse_flags(words[:-1]),
+            )
+            current.methods.append(current_method)
+        elif line == ".end method":
+            current_method = None
+        elif line == ".end class":
+            current = None
+        elif current_method is not None:
+            current_method.instructions.append(_parse_instruction(line))
+        else:
+            raise DexError("unexpected line outside method: %r" % line)
+    return DexFile(classes)
+
+
+def _require(current, line):
+    if current is None:
+        raise DexError("directive outside .class: %r" % line)
+
+
+def _parse_instruction(line):
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    try:
+        opcode = Opcode[mnemonic.upper().replace("-", "_")]
+    except KeyError:
+        raise DexError("unknown mnemonic %r" % mnemonic)
+    rest = parts[1] if len(parts) > 1 else ""
+    if opcode.is_invoke:
+        inner = rest.strip()
+        if not (inner.startswith("{") and inner.endswith("}")):
+            raise DexError("malformed invoke operand: %r" % line)
+        inner = inner[1:-1]
+        class_name, remainder = inner.split("->", 1)
+        paren = remainder.index("(")
+        return Instruction(opcode, MethodRef(
+            class_name, remainder[:paren], remainder[paren:],
+        ))
+    if opcode == Opcode.CONST_STRING:
+        value = rest.strip()
+        if not (value.startswith('"') and value.endswith('"')):
+            raise DexError("malformed string operand: %r" % line)
+        return Instruction(opcode, _unescape(value[1:-1]))
+    if opcode == Opcode.NEW_INSTANCE:
+        return Instruction(opcode, rest.strip())
+    if opcode in (Opcode.CONST_INT, Opcode.IF_EQZ, Opcode.IF_NEZ,
+                  Opcode.GOTO):
+        return Instruction(opcode, int(rest.strip()))
+    if opcode in (Opcode.IGET, Opcode.IPUT, Opcode.SGET, Opcode.SPUT):
+        class_name, field_name = rest.strip().split("->", 1)
+        return Instruction(opcode, (class_name, field_name))
+    return Instruction(opcode)

@@ -1,0 +1,45 @@
+"""Semi-manual dynamic analysis pipeline (Section 3.2).
+
+Simulated Pixel device and runtimes (:mod:`repro.dynamic.device`,
+:mod:`repro.dynamic.webview_runtime`, :mod:`repro.dynamic.customtab_runtime`),
+a Frida-like hook engine (:mod:`repro.dynamic.frida`), profiles of the real
+apps the paper studied (:mod:`repro.dynamic.apps`), the top-1K manual
+classification (:mod:`repro.dynamic.manual_study`), the controlled-page
+measurement harness (:mod:`repro.dynamic.measurements`), and the
+100-top-site crawler (:mod:`repro.dynamic.crawler`).
+"""
+
+from repro.dynamic.device import Device, Logcat
+from repro.dynamic.frida import FridaSession
+from repro.dynamic.webview_runtime import WebViewRuntime, JsBridge
+from repro.dynamic.customtab_runtime import (
+    CustomTabRuntime,
+    CustomTabsCallback,
+    PartialCustomTab,
+    BrowserSession,
+)
+from repro.dynamic.iab import IabKind, LinkOpenEvent
+from repro.dynamic.apps import RealAppProfile, real_app_profiles
+from repro.dynamic.manual_study import ManualStudy
+from repro.dynamic.measurements import IabMeasurementHarness
+from repro.dynamic.crawler import AdbCrawler, SYSTEM_WEBVIEW_SHELL
+
+__all__ = [
+    "Device",
+    "Logcat",
+    "FridaSession",
+    "WebViewRuntime",
+    "JsBridge",
+    "CustomTabRuntime",
+    "CustomTabsCallback",
+    "PartialCustomTab",
+    "BrowserSession",
+    "IabKind",
+    "LinkOpenEvent",
+    "RealAppProfile",
+    "real_app_profiles",
+    "ManualStudy",
+    "IabMeasurementHarness",
+    "AdbCrawler",
+    "SYSTEM_WEBVIEW_SHELL",
+]

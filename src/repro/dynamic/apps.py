@@ -1,0 +1,273 @@
+"""Behavioural profiles of the real apps the paper's dynamic study covers.
+
+Table 8's ten WebView-IAB apps plus Discord (the lone CT-based IAB). A
+profile knows where its links live (Post/DM/Story/Profile/Bio), how the
+app opens a clicked link, which JS and JS bridges it injects, which
+redirector it routes URLs through, and which app-specific endpoints its
+IAB contacts during a page visit (the Figure 6 signal).
+"""
+
+from repro.android.manifest import AndroidManifest
+from repro.dynamic import scripts
+from repro.dynamic.customtab_runtime import BrowserSession, CustomTabRuntime
+from repro.dynamic.iab import IabKind, LinkOpenEvent
+from repro.dynamic.webview_runtime import JsBridge, WebViewRuntime
+from repro.util import derive_seed, make_rng
+from repro.web.sites import CATEGORY_RICHNESS
+
+
+class InjectedScript:
+    """One JS payload an app injects, with its (ground-truth) intent."""
+
+    def __init__(self, name, source, intent):
+        self.name = name
+        self.source = source
+        self.intent = intent
+
+
+class BridgeSpec:
+    """One JS bridge an app injects."""
+
+    def __init__(self, name, intent, obfuscated=False, methods=None):
+        self.name = name
+        self.intent = intent
+        self.obfuscated = obfuscated
+        self.methods = dict(methods or {})
+
+
+class RealAppProfile:
+    """One studied app."""
+
+    def __init__(self, package, name, downloads, surface, iab_kind,
+                 injected_scripts=(), bridges=(), redirector=None,
+                 extra_endpoint_plan=None):
+        self.package = package
+        self.name = name
+        self.downloads = downloads
+        self.surface = surface              # Post / DM / Story / Profile / Bio
+        self.iab_kind = iab_kind
+        self.injected_scripts = list(injected_scripts)
+        self.bridges = list(bridges)
+        self.redirector = redirector        # e.g. "lm.facebook.com/l.php"
+        #: (category_to_hosts fn) -> app-specific endpoints per site visit.
+        self._extra_endpoint_plan = extra_endpoint_plan
+        self.manifest = AndroidManifest(package)
+        self.manifest.add_activity("%s.MainActivity" % package, exported=True)
+        self.users_can_post_links = True
+
+    # -- behaviour -----------------------------------------------------------
+
+    def open_link(self, device, url, runtime=None):
+        """Simulate the user tapping a link inside this app."""
+        if self.iab_kind == IabKind.BROWSER:
+            resolution = device.open_url_via_intent(url)
+            return LinkOpenEvent(self.package, url, IabKind.BROWSER,
+                                 intent_raised=True, surface=self.surface)
+
+        if self.iab_kind == IabKind.CUSTOM_TAB:
+            if runtime is None:
+                browser = getattr(device, "browser_session", None)
+                if browser is None:
+                    browser = BrowserSession(device.default_browser)
+                    device.browser_session = browser
+                runtime = CustomTabRuntime(self.package, device, browser)
+            device.logcat.log(self.package, "opening CT IAB for %s" % url)
+            runtime.mayLaunchUrl(url)
+            runtime.launchUrl(url)
+            return LinkOpenEvent(self.package, url, IabKind.CUSTOM_TAB,
+                                 runtime=runtime, surface=self.surface)
+
+        # WebView-based IAB: the URL is rendered as a button; app logic
+        # opens a WebView — no Web URI intent is ever raised (4.2.1).
+        if runtime is None:
+            runtime = WebViewRuntime(self.package, device)
+        device.logcat.log(
+            self.package,
+            "link tap handled internally (no intent): opening WebView IAB",
+        )
+        for bridge_spec in self.bridges:
+            runtime.addJavascriptInterface(
+                JsBridge(bridge_spec.name, bridge_spec.methods),
+                bridge_spec.name,
+            )
+        target = url
+        if self.redirector:
+            redirect_url = "https://%s?u=%s&h=%d" % (
+                self.redirector, url, derive_seed(0, self.package, url) % 10**9
+            )
+            runtime.loadUrl(redirect_url)
+            target = url
+        runtime.loadUrl(target)
+        for script in self.injected_scripts:
+            runtime.evaluateJavascript(script.source)
+        return LinkOpenEvent(self.package, url, IabKind.WEBVIEW,
+                             runtime=runtime, surface=self.surface)
+
+    def extra_endpoints(self, site, seed=0):
+        """App-IAB-specific endpoints contacted while visiting ``site``."""
+        if self._extra_endpoint_plan is None:
+            return []
+        return self._extra_endpoint_plan(site, seed)
+
+    def __repr__(self):
+        return "RealAppProfile(%s, %s IAB)" % (self.name, self.iab_kind)
+
+
+# -- endpoint plans ------------------------------------------------------------
+
+def _linkedin_endpoints(site, seed):
+    """LinkedIn's IAB: Cedexis trackers + LinkedIn's own services, more of
+    them on content-rich sites (Figure 6a)."""
+    rng = make_rng(derive_seed(seed, "linkedin", site.host))
+    richness = CATEGORY_RICHNESS[site.category]
+    endpoints = ["https://radar.cedexis.com/radar/launch.js"]
+    if rng.random() < 0.4 + richness * 0.6:
+        endpoints.append("https://cedexis-radar.net/api/v2/measure")
+    if rng.random() < richness:
+        endpoints.append("https://img-a.licdn.com/r/collect")
+    if rng.random() < 0.2 + richness * 0.8:
+        endpoints.append("https://px.ads.linkedin.com/collect")
+    if rng.random() < 0.3 + richness * 0.5:
+        endpoints.append("https://perf.linkedin.com/rum")
+    extra_trackers = int(richness * 2.5 * rng.uniform(0.6, 1.2))
+    for index in range(extra_trackers):
+        endpoints.append(
+            "https://r%d.cedexis-radar.net/probe" % (index + 1)
+        )
+    return endpoints
+
+
+_KIK_AD_HOSTS = (
+    "ads.mopub.com", "supply.inmobicdn.net", "cdn77.mopub.com",
+    "securepubads.doubleclick.net", "googleads.g.doubleclick.net",
+    "ib.adnxs.com", "rtb.openx.net", "sync.criteo.com",
+    "ads.yieldmo.com", "bid.smaato.net", "match.adsrvr.org",
+    "htlb.casalemedia.com", "fastlane.rubiconproject.com",
+    "ads.pubmatic.com", "x.bidswitch.net", "eus.rubiconproject.com",
+    "pixel.advertising.com", "us-u.openx.net",
+)
+
+
+def _kik_endpoints(site, seed):
+    """Kik's IAB: 15+ ad-network endpoints on content-rich sites, plus
+    CDNs (Figure 6b)."""
+    rng = make_rng(derive_seed(seed, "kik", site.host))
+    richness = CATEGORY_RICHNESS[site.category]
+    count = int(richness * 16 * rng.uniform(0.8, 1.25)) + 2
+    endpoints = [
+        "https://%s/ad-request" % host
+        for host in _KIK_AD_HOSTS[:min(count, len(_KIK_AD_HOSTS))]
+    ]
+    endpoints.append("https://d2nq9p3d9m5xht.cloudfront.net/assets/sdk.js")
+    if richness > 0.6:
+        endpoints.append("https://dtry3khrwyemw.cloudfront.net/creative.js")
+    return endpoints
+
+
+def _facebook_endpoints(redirector):
+    def plan(site, seed):
+        # Only the redirector itself — their crawl found no other
+        # IAB-specific requests on top sites (4.2.1).
+        return ["https://%s?u=https://%s/" % (redirector, site.host)]
+    return plan
+
+
+# -- the eleven studied apps ------------------------------------------------------
+
+def real_app_profiles():
+    """Table 8's ten WebView-IAB apps + Discord (CT), by downloads."""
+    fb_bridges = [
+        BridgeSpec("fbpayIAWBridge", "payments",
+                   methods={"requestPayment": None}),
+        BridgeSpec("metaCheckoutIAWBridge", "checkout",
+                   methods={"openCheckout": None}),
+        BridgeSpec("_AutofillExtensions", "autofill",
+                   methods={"getAutofillData": None}),
+    ]
+    fb_scripts = [
+        InjectedScript("autofill-loader", scripts.AUTOFILL_LOADER_JS,
+                       "autofill"),
+        InjectedScript("tag-counts", scripts.TAG_COUNT_JS, "dom-counts"),
+        InjectedScript("simhash", scripts.SIMHASH_JS, "cloaking-detection"),
+        InjectedScript("perf-metrics", scripts.PERF_METRICS_JS,
+                       "performance"),
+    ]
+    ads_bridge = [BridgeSpec("googleAdsJsInterface", "ad-injection",
+                             methods={"notify": None, "postMessage": None})]
+
+    return [
+        RealAppProfile(
+            "com.facebook.katana", "Facebook", 8_400_000_000, "Post",
+            IabKind.WEBVIEW, fb_scripts, fb_bridges,
+            redirector="lm.facebook.com/l.php",
+            extra_endpoint_plan=_facebook_endpoints("lm.facebook.com/l.php"),
+        ),
+        RealAppProfile(
+            "com.instagram.android", "Instagram", 4_600_000_000, "DM",
+            IabKind.WEBVIEW, fb_scripts, fb_bridges,
+            redirector="l.instagram.com",
+            extra_endpoint_plan=_facebook_endpoints("l.instagram.com"),
+        ),
+        RealAppProfile(
+            "com.snapchat.android", "Snapchat", 2_340_000_000, "Story",
+            IabKind.WEBVIEW,
+        ),
+        RealAppProfile(
+            "com.twitter.android", "Twitter", 1_380_000_000, "DM",
+            IabKind.WEBVIEW, redirector="t.co",
+        ),
+        RealAppProfile(
+            "com.linkedin.android", "LinkedIn", 1_200_000_000, "Post",
+            IabKind.WEBVIEW,
+            injected_scripts=[InjectedScript(
+                "cedexis-radar", scripts.CEDEXIS_RADAR_JS,
+                "network-measurement",
+            )],
+            extra_endpoint_plan=_linkedin_endpoints,
+        ),
+        RealAppProfile(
+            "com.pinterest", "Pinterest", 840_000_000, "DM",
+            IabKind.WEBVIEW,
+            bridges=[BridgeSpec("a0", "unknown", obfuscated=True)],
+        ),
+        RealAppProfile(
+            "com.discord", "Discord", 500_000_000, "Chat",
+            IabKind.CUSTOM_TAB,
+        ),
+        RealAppProfile(
+            "in.mohalla.video", "Moj", 289_000_000, "Profile",
+            IabKind.WEBVIEW,
+            injected_scripts=[InjectedScript(
+                "google-ads-bootstrap", scripts.GOOGLE_ADS_BOOTSTRAP_JS,
+                "ad-injection",
+            )],
+            bridges=list(ads_bridge),
+        ),
+        RealAppProfile(
+            "kik.android", "Kik", 176_500_000, "DM",
+            IabKind.WEBVIEW,
+            injected_scripts=[InjectedScript(
+                "ad-probe", scripts.KIK_AD_PROBE_JS, "ad-injection",
+            )],
+            bridges=list(ads_bridge),
+            extra_endpoint_plan=_kik_endpoints,
+        ),
+        RealAppProfile(
+            "com.reddit.frontpage", "Reddit", 124_000_000, "DM",
+            IabKind.WEBVIEW,
+        ),
+        RealAppProfile(
+            "io.chingari.app", "Chingari", 97_500_000, "Bio",
+            IabKind.WEBVIEW,
+            injected_scripts=[InjectedScript(
+                "google-ads-bootstrap", scripts.GOOGLE_ADS_BOOTSTRAP_JS,
+                "ad-injection",
+            )],
+            bridges=list(ads_bridge),
+        ),
+    ]
+
+
+def webview_iab_profiles():
+    """The 10 apps with WebView-based IABs (Table 8)."""
+    return [p for p in real_app_profiles() if p.iab_kind == IabKind.WEBVIEW]

@@ -1,0 +1,176 @@
+"""The ADB-driven top-site crawler (Section 3.2.2).
+
+For each app, a distinct crawler drives the app's unique UI via simulated
+ADB steps: launch the app, navigate to the link surface by tapping
+predetermined coordinates, insert the crawl URL, tap it to open the IAB,
+scroll to the page end, wait 20 seconds for resources, collect the
+device's network log, then purge logs, kill the app and wait 1 minute.
+A System WebView Shell baseline establishes the requests expected from an
+uninstrumented WebView; Figure 6 reports the *app-specific* endpoints.
+"""
+
+from repro.dynamic.apps import RealAppProfile
+from repro.dynamic.device import Device
+from repro.dynamic.iab import IabKind
+from repro.dynamic.webview_runtime import WebViewRuntime
+from repro.netstack.network import Network, Request
+from repro.web.classify import classify_endpoint
+from repro.web.sites import top_sites
+
+#: Android's System WebView Shell app — the uninstrumented baseline [32].
+SYSTEM_WEBVIEW_SHELL = RealAppProfile(
+    "org.chromium.webview_shell", "System WebView Shell", 0, "URL bar",
+    IabKind.WEBVIEW,
+)
+
+PAGE_LOAD_WAIT_MS = 20_000
+BETWEEN_CRAWLS_WAIT_MS = 60_000
+
+
+class SiteVisit:
+    """One (app, site) crawl observation."""
+
+    def __init__(self, app, site, endpoints):
+        self.app = app
+        self.site = site
+        #: Every URL the IAB's network log saw during this visit.
+        self.endpoints = list(endpoints)
+
+    def hosts(self):
+        seen = []
+        for url in self.endpoints:
+            host = url.split("://", 1)[1].split("/", 1)[0]
+            if host not in seen:
+                seen.append(host)
+        return seen
+
+    def __repr__(self):
+        return "SiteVisit(%s @ %s, %d endpoints)" % (
+            self.app.name, self.site.host, len(self.endpoints)
+        )
+
+
+class CrawlResult:
+    """All visits, plus baseline-differencing and classification."""
+
+    def __init__(self, visits, baseline_visits):
+        self.visits = list(visits)
+        self._baseline = {
+            visit.site.host: set(visit.hosts())
+            for visit in baseline_visits
+        }
+
+    def visits_for(self, app_name):
+        return [v for v in self.visits if v.app.name == app_name]
+
+    def app_specific_hosts(self, visit):
+        """Hosts contacted by this IAB but not by the baseline shell."""
+        baseline = self._baseline.get(visit.site.host, set())
+        return [host for host in visit.hosts() if host not in baseline]
+
+    def endpoint_summary(self, app_name):
+        """Figure 6 data: site category -> mean distinct app-specific
+        endpoints, plus per-category breakdown by endpoint type."""
+        from collections import defaultdict
+
+        per_category_counts = defaultdict(list)
+        per_category_types = defaultdict(lambda: defaultdict(list))
+        for visit in self.visits_for(app_name):
+            specific = self.app_specific_hosts(visit)
+            category = str(visit.site.category)
+            per_category_counts[category].append(len(specific))
+            type_counts = defaultdict(int)
+            for host in specific:
+                endpoint_type = classify_endpoint(
+                    host, intended_url=visit.site.landing_url
+                )
+                type_counts[str(endpoint_type)] += 1
+            for endpoint_type, count in type_counts.items():
+                per_category_types[category][endpoint_type].append(count)
+        means = {
+            category: sum(counts) / len(counts)
+            for category, counts in per_category_counts.items()
+        }
+        type_means = {
+            category: {
+                endpoint_type: sum(counts) / len(counts)
+                for endpoint_type, counts in types.items()
+            }
+            for category, types in per_category_types.items()
+        }
+        return means, type_means
+
+
+class AdbCrawler:
+    """Crawls the top sites through each app's IAB."""
+
+    def __init__(self, apps, sites=None, seed=0, include_baseline=True):
+        self.apps = list(apps)
+        self.sites = list(sites) if sites is not None else top_sites(100)
+        self.seed = seed
+        self.include_baseline = include_baseline
+        self.adb_commands = []
+
+    # -- simulated ADB steps ----------------------------------------------------
+
+    def _adb(self, command):
+        self.adb_commands.append(command)
+
+    def _visit(self, app, site, device):
+        """One scripted visit: the five ADB steps plus log collection."""
+        self._adb("am start -n %s/.MainActivity" % app.package)
+        self._adb("input tap 540 1200")           # navigate to surface
+        self._adb("input text '%s'" % site.landing_url)
+        self._adb("input tap 540 1400")           # tap the URL
+
+        runtime = WebViewRuntime(app.package, device)
+        app.open_link(device, site.landing_url, runtime=runtime)
+
+        # The page pulls its own subresources and third parties.
+        for path in site.first_party_resources():
+            device.network.fetch(
+                Request("https://%s%s" % (site.host, path)),
+                netlog=runtime.netlog, time_ms=device.clock_ms,
+            )
+        for third_party in site.third_party_hosts:
+            device.network.fetch(
+                Request("https://%s/loader.js" % third_party),
+                netlog=runtime.netlog, time_ms=device.clock_ms,
+            )
+        # App-IAB-specific traffic (injection side effects).
+        for endpoint in app.extra_endpoints(site, seed=self.seed):
+            device.network.fetch(
+                Request(endpoint), netlog=runtime.netlog,
+                time_ms=device.clock_ms,
+            )
+
+        self._adb("input swipe 540 1600 540 300")  # scroll to the end
+        device.advance_clock(PAGE_LOAD_WAIT_MS)    # 20s resource wait
+
+        endpoints = runtime.netlog.urls()
+        self._adb("logcat -c")                     # purge device logs
+        runtime.netlog.purge()
+        self._adb("am force-stop %s" % app.package)
+        device.advance_clock(BETWEEN_CRAWLS_WAIT_MS)
+        return SiteVisit(app, site, endpoints)
+
+    def crawl(self):
+        """Run the full crawl; returns a :class:`CrawlResult`."""
+        visits = []
+        baseline_visits = []
+        apps = list(self.apps)
+        if self.include_baseline:
+            apps.append(SYSTEM_WEBVIEW_SHELL)
+        for app in apps:
+            network = Network(seed=self.seed, strict=False)
+            for site in self.sites:
+                network.register_site(site)
+            device = Device(network=network)
+            device.install(app)
+            for site in self.sites:
+                visit = self._visit(app, site, device)
+                if app is SYSTEM_WEBVIEW_SHELL:
+                    baseline_visits.append(visit)
+                else:
+                    visits.append(visit)
+        return CrawlResult(visits, baseline_visits)

@@ -1,0 +1,196 @@
+"""The semi-manual top-1K classification (Section 3.2.1, Table 6).
+
+The study walks the 1,000 most-downloaded apps: create dummy accounts
+where necessary, look for surfaces with user-generated links, post a link
+to https://example.com, follow it, and record what opens. Apps that demand
+a phone number or a paid account, or crash with a compatibility error,
+are unclassifiable; browsers are set aside.
+
+The eleven real profiles (Table 8 + Discord) supply the interesting IAB
+behaviours; the remaining top-1K apps get deterministic scripted
+behaviours whose marginals match the paper's population (most popular
+apps simply have no user-posted links).
+"""
+
+import enum
+
+from repro.dynamic.apps import real_app_profiles
+from repro.dynamic.device import Device
+from repro.dynamic.iab import IabKind
+from repro.netstack.network import Network
+from repro.util import derive_seed, make_rng
+
+TEST_LINK = "https://example.com"
+
+
+class StudyOutcome(enum.Enum):
+    OPENS_BROWSER = "Link opens in browser."
+    OPENS_WEBVIEW = "Link opens in a WebView."
+    OPENS_CT = "Link opens in CT."
+    NO_USER_LINKS = "Users can not post links."
+    BROWSER_APP = "Browser app."
+    NEEDS_PHONE_NUMBER = "Required a phone number."
+    INCOMPATIBLE = "App incompatibility error."
+    NEEDS_PAID_ACCOUNT = "Required paid account."
+
+    def __str__(self):
+        return self.value
+
+
+class SyntheticStudyApp:
+    """A scripted top-1K app for the manual study."""
+
+    def __init__(self, package, name, downloads, behavior):
+        self.package = package
+        self.name = name
+        self.downloads = downloads
+        self.behavior = behavior
+        from repro.android.manifest import AndroidManifest
+
+        self.manifest = AndroidManifest(package)
+        self.users_can_post_links = behavior == "opens_browser"
+        self.is_browser = behavior == "browser_app"
+
+    def install_on(self, device):
+        if self.behavior == "incompatible":
+            raise RuntimeError("INSTALL_FAILED_NO_MATCHING_ABIS")
+        device.install(self)
+
+    def create_account(self):
+        if self.behavior == "needs_phone":
+            raise PermissionError("phone number verification required")
+        if self.behavior == "needs_paid":
+            raise PermissionError("paid subscription required")
+
+    def open_link(self, device, url, runtime=None):
+        from repro.dynamic.iab import LinkOpenEvent
+
+        resolution = device.open_url_via_intent(url)
+        return LinkOpenEvent(self.package, url, IabKind.BROWSER,
+                             intent_raised=True)
+
+
+#: Population shares for the synthetic remainder of the top 1K, chosen so
+#: expected counts match Table 6 (27 browser-openers, 9 browsers,
+#: 24+22+2 unclassifiable, remainder without user links).
+_SYNTHETIC_BEHAVIOR_COUNTS = {
+    "opens_browser": 27,
+    "browser_app": 9,
+    "needs_phone": 24,
+    "incompatible": 22,
+    "needs_paid": 2,
+}
+
+
+def _synthetic_apps(count, seed):
+    """Deterministically scripted apps for the non-IAB remainder."""
+    rng = make_rng(derive_seed(seed, "manual-study"))
+    behaviors = []
+    for behavior, quota in _SYNTHETIC_BEHAVIOR_COUNTS.items():
+        behaviors.extend([behavior] * quota)
+    behaviors.extend(["no_links"] * (count - len(behaviors)))
+    rng.shuffle(behaviors)
+    apps = []
+    for index, behavior in enumerate(behaviors):
+        package = "top.app%d.android" % (index + 12)
+        downloads = max(86_000_000, 900_000_000 - index * 800_000)
+        apps.append(SyntheticStudyApp(
+            package, "Top App %d" % (index + 12), downloads, behavior
+        ))
+    return apps
+
+
+class AppClassification:
+    def __init__(self, app, outcome, event=None):
+        self.app = app
+        self.outcome = outcome
+        self.event = event
+
+    def __repr__(self):
+        return "AppClassification(%s, %s)" % (
+            getattr(self.app, "name", "?"), self.outcome
+        )
+
+
+class ManualStudy:
+    """Drives the top-1K classification and tallies Table 6."""
+
+    def __init__(self, total_apps=1000, seed=0):
+        self.total_apps = total_apps
+        self.seed = seed
+        self.real_apps = real_app_profiles()
+        self.synthetic_apps = _synthetic_apps(
+            total_apps - len(self.real_apps), seed
+        )
+
+    def apps(self):
+        return list(self.real_apps) + list(self.synthetic_apps)
+
+    def classify_app(self, app):
+        """One app's walk-through: install, account, post link, click."""
+        device = Device(network=Network(seed=self.seed, strict=False))
+
+        behavior = getattr(app, "behavior", None)
+        if behavior is not None:
+            try:
+                app.install_on(device)
+            except RuntimeError:
+                return AppClassification(app, StudyOutcome.INCOMPATIBLE)
+            try:
+                app.create_account()
+            except PermissionError as exc:
+                if "phone" in str(exc):
+                    return AppClassification(
+                        app, StudyOutcome.NEEDS_PHONE_NUMBER
+                    )
+                return AppClassification(app, StudyOutcome.NEEDS_PAID_ACCOUNT)
+            if app.is_browser:
+                return AppClassification(app, StudyOutcome.BROWSER_APP)
+            if not app.users_can_post_links:
+                return AppClassification(app, StudyOutcome.NO_USER_LINKS)
+        else:
+            device.install(app)
+
+        event = app.open_link(device, TEST_LINK)
+        if event.kind == IabKind.WEBVIEW:
+            outcome = StudyOutcome.OPENS_WEBVIEW
+        elif event.kind == IabKind.CUSTOM_TAB:
+            outcome = StudyOutcome.OPENS_CT
+        else:
+            outcome = StudyOutcome.OPENS_BROWSER
+        return AppClassification(app, outcome, event)
+
+    def run(self):
+        """Classify every app; returns the list of classifications."""
+        return [self.classify_app(app) for app in self.apps()]
+
+    @staticmethod
+    def tally(classifications):
+        """Table 6 counts from a study run."""
+        counts = {outcome: 0 for outcome in StudyOutcome}
+        for classification in classifications:
+            counts[classification.outcome] += 1
+        can_post = (
+            counts[StudyOutcome.OPENS_BROWSER]
+            + counts[StudyOutcome.OPENS_WEBVIEW]
+            + counts[StudyOutcome.OPENS_CT]
+        )
+        unclassified = (
+            counts[StudyOutcome.NEEDS_PHONE_NUMBER]
+            + counts[StudyOutcome.INCOMPATIBLE]
+            + counts[StudyOutcome.NEEDS_PAID_ACCOUNT]
+        )
+        return {
+            "Users can post links.": can_post,
+            "Link opens in browser.": counts[StudyOutcome.OPENS_BROWSER],
+            "Link opens in a WebView.": counts[StudyOutcome.OPENS_WEBVIEW],
+            "Link opens in CT.": counts[StudyOutcome.OPENS_CT],
+            "Users can not post links.": counts[StudyOutcome.NO_USER_LINKS],
+            "Browser Apps.": counts[StudyOutcome.BROWSER_APP],
+            "Could not classify app.": unclassified,
+            "Required a phone number.": counts[
+                StudyOutcome.NEEDS_PHONE_NUMBER],
+            "App incompatibility error.": counts[StudyOutcome.INCOMPATIBLE],
+            "Required paid account.": counts[
+                StudyOutcome.NEEDS_PAID_ACCOUNT],
+        }

@@ -1,0 +1,100 @@
+"""Chrome remote GUI debugging for WebViews (Section 4.2.1).
+
+"To gain more insight ... we also manually investigated using Android
+logs collected by Logcat, and by using the remote GUI debugging tool for
+Android." This module is that tool: a read-only DevTools-style inspector
+over a live WebViewRuntime — DOM tree dumps, element search, console
+access — used to discover, e.g., that Facebook renders URLs as *buttons*
+whose tap handler opens the IAB instead of raising an intent.
+"""
+
+from repro.errors import DeviceError
+from repro.web.dom import Element, TextNode
+
+
+class RemoteDebugger:
+    """A chrome://inspect-style session attached to one WebView."""
+
+    def __init__(self, runtime):
+        if runtime.document is None:
+            raise DeviceError(
+                "WebView has no page loaded; nothing to inspect"
+            )
+        self.runtime = runtime
+
+    # -- DOM inspection ------------------------------------------------------
+
+    def dom_outline(self, max_depth=6):
+        """An elements-panel style outline of the page DOM."""
+        lines = []
+
+        def visit(node, depth):
+            if depth > max_depth:
+                return
+            if isinstance(node, Element):
+                attrs = "".join(
+                    ' %s="%s"' % (k, v) for k, v in sorted(node.attrs.items())
+                )
+                lines.append("%s<%s%s>" % ("  " * depth, node.tag, attrs))
+                for child in node.children:
+                    visit(child, depth + 1)
+            elif isinstance(node, TextNode) and node.data.strip():
+                text = node.data.strip()
+                if len(text) > 40:
+                    text = text[:37] + "..."
+                lines.append("%s%s" % ("  " * depth, text))
+
+        for child in self.runtime.document.children:
+            visit(child, 0)
+        return "\n".join(lines)
+
+    def find_elements(self, selector):
+        """Query the live DOM (read-only handles)."""
+        return self.runtime.document.query_selector_all(selector)
+
+    def links_rendered_as_buttons(self):
+        """The 4.2.1 discovery: URL-looking text on non-anchor elements.
+
+        Returns elements whose visible text looks like a URL but whose
+        tag is not ``<a>`` — the pattern by which Facebook/Instagram
+        intercept link taps in app logic instead of raising intents.
+        """
+        suspects = []
+        for element in self.runtime.document.elements():
+            if element.tag in ("a", "#document"):
+                continue
+            direct_text = "".join(
+                child.data for child in element.children
+                if isinstance(child, TextNode)
+            ).strip()
+            if direct_text.startswith(("http://", "https://", "www.")):
+                suspects.append(element)
+        return suspects
+
+    # -- console / runtime ---------------------------------------------------------
+
+    def console_messages(self):
+        """Console output of the inspected page's JS context."""
+        interpreter = self.runtime._interpreter
+        if interpreter is None:
+            return []
+        return list(interpreter.console_log)
+
+    def evaluate(self, expression):
+        """Evaluate read-only JS in the page (the DevTools console)."""
+        return self.runtime.evaluateJavascript(expression)
+
+    def list_js_bridges(self):
+        """Java objects the app exposed to this page (attack surface)."""
+        return sorted(self.runtime.js_bridges)
+
+    def security_state(self):
+        """What the (absent) WebView security UI would have shown."""
+        url = self.runtime.current_url or ""
+        return {
+            "url": url,
+            "secure_transport": url.startswith("https://"),
+            # Unlike CTs, a WebView renders no TLS lock for the user.
+            "lock_icon_shown": False,
+            "js_bridges_exposed": len(self.runtime.js_bridges),
+        }

@@ -1,0 +1,173 @@
+"""The JS the studied apps inject into their WebView-based IABs.
+
+These are working renditions of the injections the paper observed
+(Section 4.2, Table 8): they execute in the interpreter against the
+controlled page, produce the Web API traffic of Table 9, and carry the
+inferable intent markers (autofill, cloaking detection, ad insertion,
+network measurement) the paper's manual analysis keyed on.
+"""
+
+#: Listing 1: the Facebook/Instagram autofill SDK loader (verbatim shape).
+AUTOFILL_LOADER_JS = """
+(function(d, s, id){
+   var sdkURL = "//connect.facebook.net/en_US/iab.autofill.enhanced.js";
+   var js, fjs = d.getElementsByTagName(s)[0];
+   if (d.getElementById(id)) {
+      return;
+   }
+   js = d.createElement(s);
+   js.id = id;
+   js.src = sdkURL;
+   fjs.parentNode.insertBefore(js, fjs);
+}(document, 'script', 'instagram-autofill-sdk'));
+"""
+
+#: "A JS script that returned a frequency dictionary with the DOM tag
+#: counts."
+TAG_COUNT_JS = """
+(function(){
+  var counts = {};
+  var all = document.querySelectorAll('*');
+  for (var i = 0; i < all.length; i++) {
+    var el = all.item(i);
+    var tag = el.tagName.toLowerCase();
+    if (counts[tag]) { counts[tag] = counts[tag] + 1; }
+    else { counts[tag] = 1; }
+  }
+  return JSON.stringify(counts);
+}());
+"""
+
+#: "Locality sensitive hashes for (i) text and DOM elements, (ii) text
+#: elements, and (iii) DOM elements ... to detect client-side cloaking
+#: based on Cloaker Catcher" (Duan et al.).
+SIMHASH_JS = """
+(function(){
+  // cloaking-detection: client-side simHash, cf. Cloaker Catcher
+  function simHash(text) {
+    var bits = [];
+    var b;
+    for (b = 0; b < 32; b++) { bits.push(0); }
+    var i;
+    for (i = 0; i < text.length; i++) {
+      var h = ((text.charCodeAt(i) * 2654435761) % 4294967296) | 0;
+      for (b = 0; b < 32; b++) {
+        if ((h >> b) & 1) { bits[b] = bits[b] + 1; }
+        else { bits[b] = bits[b] - 1; }
+      }
+    }
+    var hash = 0;
+    for (b = 0; b < 32; b++) {
+      if (bits[b] > 0) { hash = hash | (1 << b); }
+    }
+    return hash;
+  }
+  var body = document.body;
+  var textHash = simHash(body.textContent);
+  var tags = [];
+  var elements = body.getElementsByTagName('*');
+  var i;
+  for (i = 0; i < elements.length; i++) {
+    tags.push(elements.item(i).tagName);
+  }
+  var domHash = simHash(tags.join(','));
+  var combinedHash = simHash(body.textContent + tags.join(','));
+  return JSON.stringify({
+    text: textHash, dom: domHash, combined: combinedHash
+  });
+}());
+"""
+
+#: "A JS script that logged performance metrics to the console. It recorded
+#: the time it took to load the DOM content and whether the page was an
+#: Accelerated Mobile Pages (AMP) supported page."
+PERF_METRICS_JS = """
+(function(){
+  var t0 = performance.now();
+  var onLoaded = function(){ };
+  document.addEventListener('DOMContentLoaded', onLoaded);
+  var htmlEl = document.getElementsByTagName('html').item(0);
+  var isAmp = false;
+  if (htmlEl !== null) {
+    isAmp = htmlEl.hasAttribute('amp') || htmlEl.hasAttribute('\\u26a1');
+  }
+  var metas = document.querySelectorAll('meta');
+  var viewport = '';
+  if (metas.length > 0) {
+    var first = metas.item(0);
+    var content = first.getAttribute('content');
+    if (content !== null) { viewport = content; }
+  }
+  var ready = document.readyState;
+  console.log('perf: domContentLoaded=' + t0 +
+              'ms amp=' + isAmp + ' readyState=' + ready +
+              ' viewport=' + viewport);
+  if (ready === 'complete') {
+    document.removeEventListener('DOMContentLoaded', onLoaded);
+  }
+}());
+"""
+
+#: Moj/Chingari: "insert and manage a video Ad via the Google Ads SDK" —
+#: obfuscated in the wild; the ad spec JSON (width/height 0,
+#: notVisibleReason=noAdView) is what the paper actually read out of it.
+#: Deliberately touches no Web API: the paper's server recorded none.
+GOOGLE_ADS_BOOTSTRAP_JS = """
+(function(w){
+  var a = {
+    adSpec: {
+      slot: '/21775744923/example/video',
+      src: 'https://securepubads.doubleclick.net/gampad/ads',
+      width: 0,
+      height: 0,
+      notVisibleReason: 'noAdView'
+    },
+    v: '3.512.0'
+  };
+  var p = JSON.stringify(a);
+  if (typeof googleAdsJsInterface !== 'undefined') {
+    googleAdsJsInterface.notify('gmsg://mobileads.google.com/initialize');
+    googleAdsJsInterface.postMessage(p);
+  }
+  w.__gads_state = p;
+}(window));
+"""
+
+#: Kik: markedly more obfuscated; communicates with many ad networks but
+#: uses only read-only Web APIs (Table 9: querySelectorAll + getAttribute).
+KIK_AD_PROBE_JS = """
+(function(){
+  var q = document.querySelectorAll('meta');
+  var m = [];
+  var i;
+  for (i = 0; i < q.length; i++) {
+    var e = q.item(i);
+    var n = e.getAttribute('name');
+    var c = e.getAttribute('content');
+    if (n !== null) { m.push(n + '=' + (c === null ? '' : c)); }
+  }
+  var z = m.join('&');
+  if (typeof googleAdsJsInterface !== 'undefined') {
+    googleAdsJsInterface.postMessage(z);
+  }
+  return z;
+}());
+"""
+
+#: LinkedIn: "calls to Cedexis traffic management API" — Radar measures
+#: availability/response-time/throughput from end-user devices.
+CEDEXIS_RADAR_JS = """
+(function(w){
+  // cedexis radar bootstrap: crowdsourced network measurement
+  var radar = {
+    host: 'radar.cedexis.com',
+    api: 'https://cedexis-radar.net/api/v2/measure',
+    zone: 1,
+    customer: 10660,
+    probes: ['availability', 'response-time', 'throughput']
+  };
+  var t0 = performance.now();
+  radar.started = t0;
+  w.__cedexis = radar;
+}(window));
+"""

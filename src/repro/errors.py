@@ -1,0 +1,104 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures with a single handler while still being able to
+distinguish the failing layer.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DexError(ReproError):
+    """Raised for malformed DEX bytecode or serialization failures."""
+
+
+class ApkError(ReproError):
+    """Raised for malformed APK containers."""
+
+
+class BrokenApkError(ApkError):
+    """Raised when an APK is corrupted beyond analysis (paper: 242 APKs)."""
+
+
+class ManifestError(ReproError):
+    """Raised for malformed Android manifests (text or binary XML)."""
+
+
+class JavaSyntaxError(ReproError):
+    """Raised when Java source cannot be parsed.
+
+    Mirrors ``javalang.parser.JavaSyntaxError`` which the paper's pipeline
+    had to handle when parsing decompiled sources.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class DecompilationError(ReproError):
+    """Raised when the decompiler fails on an APK (JADX failure analogue)."""
+
+
+class CallGraphError(ReproError):
+    """Raised for call-graph construction failures."""
+
+
+class StoreError(ReproError):
+    """Raised by the Play Store catalog / scraper client."""
+
+
+class AppNotFoundError(StoreError):
+    """Raised when an app is not present on the store (delisted apps)."""
+
+
+class RepositoryError(ReproError):
+    """Raised by the AndroZoo-like APK repository."""
+
+
+class JsError(ReproError):
+    """Base class for JavaScript substrate errors."""
+
+
+class JsSyntaxError(JsError):
+    """Raised when injected JavaScript cannot be parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class JsRuntimeError(JsError):
+    """Raised when injected JavaScript fails at runtime."""
+
+
+class HtmlError(ReproError):
+    """Raised for malformed HTML handed to the mini HTML parser."""
+
+
+class NetworkError(ReproError):
+    """Raised by the simulated network stack."""
+
+
+class DnsError(NetworkError):
+    """Raised when a simulated hostname cannot be resolved."""
+
+
+class DeviceError(ReproError):
+    """Raised by the simulated Android device."""
+
+
+class HookError(ReproError):
+    """Raised by the Frida-like instrumentation engine."""
+
+
+class CrawlError(ReproError):
+    """Raised by the ADB-style crawler."""
+
+
+class CorpusError(ReproError):
+    """Raised by the corpus generator for inconsistent configurations."""

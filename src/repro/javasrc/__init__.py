@@ -1,0 +1,50 @@
+"""Java source substrate.
+
+The paper decompiles APKs to Java with JADX and parses each source file with
+``javalang`` to find classes that extend ``android.webkit.WebView``
+(Section 3.1.2). This package provides the equivalent machinery:
+
+- :mod:`repro.javasrc.lexer` — a Java tokenizer,
+- :mod:`repro.javasrc.ast` — AST node types,
+- :mod:`repro.javasrc.parser` — a recursive-descent parser for the Java
+  subset that our decompiler emits (declarations parsed precisely, method
+  bodies parsed to expression statements with full call extraction),
+- :mod:`repro.javasrc.codegen` — DEX → Java source generation, used by
+  the decompiler.
+"""
+
+from repro.javasrc.lexer import Token, TokenKind, tokenize
+from repro.javasrc.ast import (
+    CompilationUnit,
+    ClassDecl,
+    FieldDecl,
+    MethodDecl,
+    MethodCall,
+    Literal,
+    Name,
+    New,
+    Assignment,
+    Cast,
+    FieldAccess,
+)
+from repro.javasrc.parser import parse_java
+from repro.javasrc.codegen import generate_source
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "CompilationUnit",
+    "ClassDecl",
+    "FieldDecl",
+    "MethodDecl",
+    "MethodCall",
+    "Literal",
+    "Name",
+    "New",
+    "Assignment",
+    "Cast",
+    "FieldAccess",
+    "parse_java",
+    "generate_source",
+]

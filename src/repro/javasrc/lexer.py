@@ -1,0 +1,275 @@
+"""A Java tokenizer.
+
+Produces a flat token stream with line/column positions; comments and
+whitespace are consumed and discarded. Covers the token classes present in
+decompiled Android sources: identifiers, keywords, integer/floating/string/
+char literals, operators and punctuation.
+"""
+
+import enum
+
+from repro.errors import JavaSyntaxError
+
+KEYWORDS = frozenset(
+    """abstract assert boolean break byte case catch char class const continue
+    default do double else enum extends final finally float for goto if
+    implements import instanceof int interface long native new package
+    private protected public return short static strictfp super switch
+    synchronized this throw throws transient try void volatile while
+    true false null""".split()
+)
+
+
+class TokenKind(enum.Enum):
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CHAR = "char"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (
+            self.kind.name, self.value, self.line, self.column
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Token)
+            and (self.kind, self.value) == (other.kind, other.value)
+        )
+
+
+# Longest-first so that multi-character operators win.
+_OPERATORS = sorted(
+    [
+        ">>>=", "<<=", ">>=", ">>>", "...", "->", "::", "==", "!=", "<=",
+        ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+        "|=", "^=", "<<", ">>", "+", "-", "*", "/", "%", "=", "<", ">",
+        "!", "~", "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "{",
+        "}", "[", "]", "@",
+    ],
+    key=len,
+    reverse=True,
+)
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f",
+    "'": "'", '"': '"', "\\": "\\", "0": "\0",
+}
+
+
+def tokenize(source):
+    """Tokenize Java source text into a list of :class:`Token`.
+
+    Raises :class:`~repro.errors.JavaSyntaxError` on unterminated strings,
+    unterminated block comments or unexpected characters.
+    """
+    tokens = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def error(message):
+        raise JavaSyntaxError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+
+        if char in " \t":
+            index += 1
+            column += 1
+            continue
+        if char == "\r":
+            index += 1
+            continue
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+
+        # Comments.
+        if char == "/" and index + 1 < length:
+            following = source[index + 1]
+            if following == "/":
+                end = source.find("\n", index)
+                if end < 0:
+                    index = length
+                else:
+                    index = end
+                continue
+            if following == "*":
+                end = source.find("*/", index + 2)
+                if end < 0:
+                    error("unterminated block comment")
+                skipped = source[index: end + 2]
+                newlines = skipped.count("\n")
+                if newlines:
+                    line += newlines
+                    column = len(skipped) - skipped.rfind("\n")
+                else:
+                    column += len(skipped)
+                index = end + 2
+                continue
+
+        # String literals.
+        if char == '"':
+            start_line, start_column = line, column
+            index += 1
+            column += 1
+            value_chars = []
+            while True:
+                if index >= length:
+                    error("unterminated string literal")
+                current = source[index]
+                if current == "\n":
+                    error("newline in string literal")
+                if current == '"':
+                    index += 1
+                    column += 1
+                    break
+                if current == "\\":
+                    if index + 1 >= length:
+                        error("unterminated escape sequence")
+                    escape = source[index + 1]
+                    if escape == "u":
+                        hex_digits = source[index + 2: index + 6]
+                        if len(hex_digits) != 4:
+                            error("bad unicode escape")
+                        try:
+                            code_unit = int(hex_digits, 16)
+                        except ValueError:
+                            error("bad unicode escape")
+                        index += 6
+                        column += 6
+                        # Combine UTF-16 surrogate pairs (Java string model).
+                        if 0xD800 <= code_unit <= 0xDBFF and source.startswith(
+                            "\\u", index
+                        ):
+                            low_digits = source[index + 2: index + 6]
+                            try:
+                                low_unit = int(low_digits, 16)
+                            except ValueError:
+                                low_unit = -1
+                            if 0xDC00 <= low_unit <= 0xDFFF:
+                                combined = 0x10000 + (
+                                    (code_unit - 0xD800) << 10
+                                ) + (low_unit - 0xDC00)
+                                value_chars.append(chr(combined))
+                                index += 6
+                                column += 6
+                                continue
+                        value_chars.append(chr(code_unit))
+                        continue
+                    value_chars.append(_ESCAPES.get(escape, escape))
+                    index += 2
+                    column += 2
+                    continue
+                value_chars.append(current)
+                index += 1
+                column += 1
+            tokens.append(Token(TokenKind.STRING, "".join(value_chars),
+                                start_line, start_column))
+            continue
+
+        # Char literals.
+        if char == "'":
+            start_line, start_column = line, column
+            index += 1
+            column += 1
+            if index < length and source[index] == "\\":
+                if index + 1 >= length:
+                    error("unterminated char literal")
+                value = _ESCAPES.get(source[index + 1], source[index + 1])
+                index += 2
+                column += 2
+            elif index < length:
+                value = source[index]
+                index += 1
+                column += 1
+            else:
+                error("unterminated char literal")
+            if index >= length or source[index] != "'":
+                error("unterminated char literal")
+            index += 1
+            column += 1
+            tokens.append(Token(TokenKind.CHAR, value, start_line, start_column))
+            continue
+
+        # Numbers.
+        if char.isdigit():
+            start = index
+            start_column = column
+            is_float = False
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and (source[index] in "0123456789abcdefABCDEF_"):
+                    index += 1
+            else:
+                while index < length and (source[index].isdigit() or source[index] == "_"):
+                    index += 1
+                if index < length and source[index] == "." and (
+                    index + 1 < length and source[index + 1].isdigit()
+                ):
+                    is_float = True
+                    index += 1
+                    while index < length and source[index].isdigit():
+                        index += 1
+                if index < length and source[index] in "eE":
+                    is_float = True
+                    index += 1
+                    if index < length and source[index] in "+-":
+                        index += 1
+                    while index < length and source[index].isdigit():
+                        index += 1
+            if index < length and source[index] in "fFdD":
+                is_float = True
+                index += 1
+            elif index < length and source[index] in "lL":
+                index += 1
+            text = source[start:index]
+            column = start_column + (index - start)
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+
+        # Identifiers and keywords.
+        if char.isalpha() or char in "_$":
+            start = index
+            start_column = column
+            while index < length and (source[index].isalnum() or source[index] in "_$"):
+                index += 1
+            text = source[start:index]
+            column = start_column + (index - start)
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+
+        # Operators / punctuation.
+        matched = None
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                matched = operator
+                break
+        if matched is None:
+            error("unexpected character %r" % char)
+        tokens.append(Token(TokenKind.OPERATOR, matched, line, column))
+        index += len(matched)
+        column += len(matched)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

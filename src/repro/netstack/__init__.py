@@ -1,0 +1,15 @@
+"""Simulated network stack with Chrome-NetLog-style logging."""
+
+from repro.netstack.netlog import NetLog, NetLogEvent
+from repro.netstack.network import Network, Request, Response
+from repro.netstack.pageload import PageLoadModel, LoaderKind
+
+__all__ = [
+    "NetLog",
+    "NetLogEvent",
+    "Network",
+    "Request",
+    "Response",
+    "PageLoadModel",
+    "LoaderKind",
+]

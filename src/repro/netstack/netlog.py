@@ -1,0 +1,82 @@
+"""Chrome NetLog-style event logging (Section 3.2.2).
+
+The paper records network logs directly from Chrome's network stack on a
+rooted device, capturing detailed per-WebView-instance logs rather than
+device-wide traffic. :class:`NetLog` is that per-instance log: a typed
+event stream over request lifecycles that the crawler snapshots and purges
+between visits.
+"""
+
+import enum
+
+
+class NetLogEventType(enum.Enum):
+    REQUEST_ALIVE = "REQUEST_ALIVE"
+    URL_REQUEST_START_JOB = "URL_REQUEST_START_JOB"
+    HTTP_TRANSACTION_SEND_REQUEST = "HTTP_TRANSACTION_SEND_REQUEST"
+    HTTP_TRANSACTION_READ_HEADERS = "HTTP_TRANSACTION_READ_HEADERS"
+    REQUEST_REDIRECTED = "REQUEST_REDIRECTED"
+    REQUEST_FAILED = "REQUEST_FAILED"
+    REQUEST_FINISHED = "REQUEST_FINISHED"
+
+
+class NetLogEvent:
+    __slots__ = ("event_type", "url", "time_ms", "details")
+
+    def __init__(self, event_type, url, time_ms, details=None):
+        self.event_type = event_type
+        self.url = url
+        self.time_ms = time_ms
+        self.details = dict(details or {})
+
+    def __repr__(self):
+        return "NetLogEvent(%s, %s, %.1fms)" % (
+            self.event_type.value, self.url, self.time_ms
+        )
+
+
+class NetLog:
+    """One WebView/CT instance's network log."""
+
+    def __init__(self, source_id=0):
+        self.source_id = source_id
+        self.events = []
+
+    def log(self, event_type, url, time_ms, **details):
+        self.events.append(NetLogEvent(event_type, str(url), time_ms, details))
+
+    def urls(self, event_type=None):
+        """Distinct URLs in first-seen order, optionally for one event type."""
+        seen = []
+        for event in self.events:
+            if event_type is not None and event.event_type != event_type:
+                continue
+            if event.url not in seen:
+                seen.append(event.url)
+        return seen
+
+    def hosts(self):
+        """Distinct contacted hosts in first-seen order."""
+        seen = []
+        for url in self.urls(NetLogEventType.HTTP_TRANSACTION_SEND_REQUEST):
+            host = _host_of(url)
+            if host and host not in seen:
+                seen.append(host)
+        return seen
+
+    def events_for(self, url):
+        return [e for e in self.events if e.url == str(url)]
+
+    def purge(self):
+        """Clear the log (the crawler purges between site visits)."""
+        self.events = []
+
+    def __len__(self):
+        return len(self.events)
+
+
+def _host_of(url):
+    if "://" not in url:
+        return None
+    rest = url.split("://", 1)[1]
+    return rest.split("/", 1)[0].split(":", 1)[0]

@@ -1,0 +1,163 @@
+"""Deterministic network simulation.
+
+Models DNS + connection + transfer latency per request against the
+top-site profiles, writes every request's lifecycle into a
+:class:`~repro.netstack.netlog.NetLog`, and returns responses with the
+headers the pipelines care about (``X-Requested-With`` detection works
+because requests carry real header dicts).
+"""
+
+from repro.android.api import X_REQUESTED_WITH_HEADER
+from repro.errors import DnsError
+from repro.netstack.netlog import NetLogEventType
+from repro.util import derive_seed, make_rng
+from repro.web.urls import parse_url
+
+
+class Request:
+    """An HTTP(S) request."""
+
+    def __init__(self, url, method="GET", headers=None, body=b""):
+        self.url = parse_url(url) if isinstance(url, str) else url
+        self.method = method
+        self.headers = dict(headers or {})
+        self.body = body
+
+    @property
+    def from_webview(self):
+        """Sites can detect WebView traffic via X-Requested-With (Sec. 5)."""
+        return X_REQUESTED_WITH_HEADER in self.headers
+
+    @property
+    def requesting_app(self):
+        return self.headers.get(X_REQUESTED_WITH_HEADER)
+
+    def __repr__(self):
+        return "Request(%s %s)" % (self.method, self.url)
+
+
+class Response:
+    """An HTTP(S) response with timing."""
+
+    def __init__(self, url, status=200, headers=None, body=b"",
+                 elapsed_ms=0.0):
+        self.url = url
+        self.status = status
+        self.headers = dict(headers or {})
+        self.body = body
+        self.elapsed_ms = elapsed_ms
+
+    @property
+    def ok(self):
+        return 200 <= self.status < 300
+
+    def __repr__(self):
+        return "Response(%d, %s, %.0fms)" % (
+            self.status, self.url, self.elapsed_ms
+        )
+
+
+class Network:
+    """The simulated internet: resolvable hosts, latency, content."""
+
+    def __init__(self, seed=0, rtt_ms=45.0, strict=True):
+        self.seed = seed
+        self.rtt_ms = rtt_ms
+        #: strict=True raises DnsError for unregistered hosts; strict=False
+        #: models the open internet (any host resolves), which the crawler
+        #: uses so third-party endpoints respond without pre-registration.
+        self.strict = strict
+        self._hosts = {}
+        self.requests_seen = []
+        #: Pre-warmed (connected) origins — CT pre-initialization (Fig. 7).
+        self._warm_origins = set()
+
+    # -- topology ----------------------------------------------------------------
+
+    def register_host(self, host, content_factory=None, extra_latency_ms=0.0):
+        """Make a host resolvable; ``content_factory(path) -> bytes``."""
+        self._hosts[host.lower()] = (content_factory, extra_latency_ms)
+
+    def register_site(self, site_profile, page_html=b"<html></html>"):
+        """Register a top-site profile and its third-party hosts."""
+        def factory(path):
+            if path == "/":
+                return page_html
+            return b"resource:" + path.encode("utf-8")
+
+        self.register_host(site_profile.host, factory,
+                           extra_latency_ms=site_profile.base_load_ms / 4)
+        for third_party in site_profile.third_party_hosts:
+            self.register_host(third_party)
+
+    def knows_host(self, host):
+        return host.lower() in self._hosts
+
+    # -- connection warmup ----------------------------------------------------------
+
+    def prewarm(self, url):
+        """Pre-initialize a connection (CTs warm up the browser, Fig. 7)."""
+        parsed = parse_url(url) if isinstance(url, str) else url
+        self._warm_origins.add(parsed.origin)
+
+    def is_warm(self, url):
+        parsed = parse_url(url) if isinstance(url, str) else url
+        return parsed.origin in self._warm_origins
+
+    # -- request execution -------------------------------------------------------------
+
+    def fetch(self, request, netlog=None, time_ms=0.0):
+        """Execute one request; returns a :class:`Response`.
+
+        Raises :class:`~repro.errors.DnsError` for unknown hosts. The
+        request and all lifecycle events are recorded.
+        """
+        if isinstance(request, str):
+            request = Request(request)
+        self.requests_seen.append(request)
+        url = request.url
+        host = url.host
+
+        if netlog is not None:
+            netlog.log(NetLogEventType.REQUEST_ALIVE, url, time_ms)
+            netlog.log(NetLogEventType.URL_REQUEST_START_JOB, url, time_ms,
+                       method=request.method)
+
+        if host not in self._hosts:
+            if self.strict:
+                if netlog is not None:
+                    netlog.log(NetLogEventType.REQUEST_FAILED, url, time_ms,
+                               error="ERR_NAME_NOT_RESOLVED")
+                raise DnsError("cannot resolve %r" % host)
+            self._hosts[host] = (None, 0.0)
+
+        content_factory, extra_latency = self._hosts[host]
+        rng = make_rng(derive_seed(self.seed, "fetch", str(url),
+                                   len(self.requests_seen)))
+
+        latency = self.rtt_ms * rng.uniform(0.8, 1.3)          # request RTT
+        if not self.is_warm(url):
+            # DNS + TCP + TLS handshakes for a cold origin.
+            latency += self.rtt_ms * 0.6 * rng.uniform(0.8, 1.2)   # DNS
+            latency += self.rtt_ms * rng.uniform(0.9, 1.1)         # TCP
+            if url.is_secure:
+                latency += self.rtt_ms * rng.uniform(0.9, 1.2)     # TLS
+            self._warm_origins.add(url.origin)
+        latency += extra_latency * rng.uniform(0.8, 1.2)
+
+        if netlog is not None:
+            netlog.log(NetLogEventType.HTTP_TRANSACTION_SEND_REQUEST, url,
+                       time_ms + latency * 0.5,
+                       headers=dict(request.headers))
+
+        body = b""
+        if content_factory is not None:
+            body = content_factory(url.path)
+        headers = {"Content-Type": "text/html; charset=utf-8"}
+
+        if netlog is not None:
+            netlog.log(NetLogEventType.HTTP_TRANSACTION_READ_HEADERS, url,
+                       time_ms + latency * 0.8, status=200)
+            netlog.log(NetLogEventType.REQUEST_FINISHED, url,
+                       time_ms + latency)
+        return Response(url, 200, headers, body, elapsed_ms=latency)

@@ -1,0 +1,122 @@
+"""Page-load-time model — Figure 7 (Appendix).
+
+Google's 2015 measurement (the paper's Figure 7 source) loaded the same
+page in a Custom Tab, Chrome, an external browser launch, and a WebView:
+the CT was fastest — about twice as fast as the WebView — because CTs
+pre-initialize the browser and pre-connect to the destination, while a
+WebView must cold-start its renderer inside the app process.
+
+The model decomposes load time into engine startup + connection setup +
+transfer + render, with the loader kind determining which phases are
+pre-paid. Absolute numbers are synthetic; the *ordering* and the ~2x
+CT-vs-WebView ratio are the reproduced shape.
+"""
+
+import enum
+
+from repro.netstack.network import Network, Request
+from repro.util import derive_seed, make_rng
+
+
+class LoaderKind(enum.Enum):
+    CUSTOM_TAB = "Custom Tab"
+    CHROME = "Chrome"
+    EXTERNAL_BROWSER = "External browser launch"
+    WEBVIEW = "WebView"
+
+    def __str__(self):
+        return self.value
+
+
+#: Engine-startup cost in ms (mean) per loader.
+_STARTUP_MS = {
+    # CT pre-initializes the (already running) browser: startup is hidden.
+    LoaderKind.CUSTOM_TAB: 40.0,
+    # Chrome is typically resident; tab creation only.
+    LoaderKind.CHROME: 120.0,
+    # Launching an external browser pays an app switch + possible cold start.
+    LoaderKind.EXTERNAL_BROWSER: 380.0,
+    # WebView cold-starts a renderer in-process, no pre-initialization.
+    LoaderKind.WEBVIEW: 680.0,
+}
+
+#: Render efficiency multiplier (WebView lacks modern scheduling).
+_RENDER_FACTOR = {
+    LoaderKind.CUSTOM_TAB: 1.0,
+    LoaderKind.CHROME: 1.0,
+    LoaderKind.EXTERNAL_BROWSER: 1.05,
+    LoaderKind.WEBVIEW: 1.9,
+}
+
+
+class PageLoadResult:
+    def __init__(self, loader, startup_ms, network_ms, render_ms):
+        self.loader = loader
+        self.startup_ms = startup_ms
+        self.network_ms = network_ms
+        self.render_ms = render_ms
+
+    @property
+    def total_ms(self):
+        return self.startup_ms + self.network_ms + self.render_ms
+
+    def __repr__(self):
+        return "PageLoadResult(%s, %.0fms)" % (self.loader, self.total_ms)
+
+
+class PageLoadModel:
+    """Simulates loading one site with each loader kind."""
+
+    def __init__(self, seed=0, rtt_ms=45.0):
+        self.seed = seed
+        self.rtt_ms = rtt_ms
+
+    def load(self, site, loader, trial=0):
+        """Load ``site`` (a SiteProfile) with ``loader``; returns timings."""
+        rng = make_rng(derive_seed(self.seed, "pageload", site.host,
+                                   loader.value, trial))
+        network = Network(
+            seed=derive_seed(self.seed, "pageload-net", site.host,
+                             loader.value, trial),
+            rtt_ms=self.rtt_ms,
+        )
+        network.register_site(site)
+
+        url = site.landing_url
+        if loader == LoaderKind.CUSTOM_TAB:
+            # mayLaunchUrl() pre-connects before the tab is shown.
+            network.prewarm(url)
+
+        startup = max(
+            10.0, rng.gauss(_STARTUP_MS[loader], _STARTUP_MS[loader] * 0.15)
+        )
+
+        main = network.fetch(Request(url))
+        network_ms = main.elapsed_ms
+        # Subresources load over the (now warm) connection, partly parallel.
+        for position, path in enumerate(site.first_party_resources()):
+            response = network.fetch(
+                Request("https://%s%s" % (site.host, path))
+            )
+            parallelism = 6.0
+            network_ms += response.elapsed_ms / parallelism
+        for host in site.third_party_hosts:
+            response = network.fetch(Request("https://%s/resource.js" % host))
+            network_ms += response.elapsed_ms / 6.0
+
+        render = (
+            site.base_load_ms * 0.8 * _RENDER_FACTOR[loader]
+            * rng.uniform(0.9, 1.1)
+        )
+        return PageLoadResult(loader, startup, network_ms, render)
+
+    def compare(self, site, trials=5):
+        """Mean total load time per loader (the Figure 7 bars)."""
+        means = {}
+        for loader in LoaderKind:
+            totals = [
+                self.load(site, loader, trial).total_ms
+                for trial in range(trials)
+            ]
+            means[loader] = sum(totals) / len(totals)
+        return means

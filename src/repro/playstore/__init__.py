@@ -1,0 +1,14 @@
+"""Google Play Store substrate: catalog, scraper client, SDK Index."""
+
+from repro.playstore.models import AppListing, AppCategory
+from repro.playstore.store import PlayStore, PlayScraperClient
+from repro.playstore.sdkindex import PlaySdkIndex, SdkIndexEntry
+
+__all__ = [
+    "AppListing",
+    "AppCategory",
+    "PlayStore",
+    "PlayScraperClient",
+    "PlaySdkIndex",
+    "SdkIndexEntry",
+]

@@ -1,0 +1,81 @@
+"""Play Store data models."""
+
+import datetime
+import enum
+
+
+class AppCategory(enum.Enum):
+    """Play Store app categories (the subset relevant to the paper).
+
+    Figure 3 plots per-category SDK use for the top-10 categories, which in
+    the paper are dominated by game categories (Puzzle, Simulation, Action,
+    Arcade) plus Education and general-purpose categories.
+    """
+
+    PUZZLE = "Puzzle"
+    SIMULATION = "Simulation"
+    ACTION = "Action"
+    ARCADE = "Arcade"
+    CASUAL = "Casual"
+    EDUCATION = "Education"
+    ENTERTAINMENT = "Entertainment"
+    TOOLS = "Tools"
+    LIFESTYLE = "Lifestyle"
+    FINANCE = "Finance"
+    SOCIAL = "Social"
+    COMMUNICATION = "Communication"
+    MUSIC = "Music & Audio"
+    NEWS = "News & Magazines"
+    SHOPPING = "Shopping"
+    SPORTS = "Sports"
+    TRAVEL = "Travel & Local"
+    PRODUCTIVITY = "Productivity"
+    HEALTH = "Health & Fitness"
+    PHOTOGRAPHY = "Photography"
+
+    def __str__(self):
+        return self.value
+
+    @property
+    def is_game(self):
+        return self in (
+            AppCategory.PUZZLE, AppCategory.SIMULATION, AppCategory.ACTION,
+            AppCategory.ARCADE, AppCategory.CASUAL,
+        )
+
+
+class AppListing:
+    """Store metadata for one app, as google-play-scraper would return."""
+
+    def __init__(self, package, title, category, installs, updated,
+                 developer="", rating=0.0, free=True):
+        self.package = package
+        self.title = title
+        self.category = category
+        self.installs = int(installs)
+        # ``updated`` is a date (the paper filters on "updated after
+        # January 1, 2021").
+        if isinstance(updated, str):
+            updated = datetime.date.fromisoformat(updated)
+        self.updated = updated
+        self.developer = developer
+        self.rating = rating
+        self.free = free
+
+    def to_dict(self):
+        """The scraper's raw-dictionary view of the listing."""
+        return {
+            "appId": self.package,
+            "title": self.title,
+            "genre": str(self.category),
+            "minInstalls": self.installs,
+            "updated": self.updated.isoformat(),
+            "developer": self.developer,
+            "score": self.rating,
+            "free": self.free,
+        }
+
+    def __repr__(self):
+        return "AppListing(%s, %s, %d installs)" % (
+            self.package, self.category, self.installs
+        )

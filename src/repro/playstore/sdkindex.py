@@ -1,0 +1,64 @@
+"""The Google Play SDK Index analogue (Section 3.1.4).
+
+The paper labels invoking Java packages against the Play SDK Index (plus
+supplementary search) to map them to named SDKs with categories. This
+module provides that lookup: longest-prefix matching of a Java package name
+against registered SDK package prefixes.
+"""
+
+
+class SdkIndexEntry:
+    """One indexed SDK: display name, category label, package prefixes."""
+
+    def __init__(self, name, category, package_prefixes):
+        self.name = name
+        self.category = category
+        self.package_prefixes = tuple(package_prefixes)
+
+    def matches(self, java_package):
+        """True if ``java_package`` is inside any registered prefix."""
+        for prefix in self.package_prefixes:
+            if java_package == prefix or java_package.startswith(prefix + "."):
+                return True
+        return False
+
+    def __repr__(self):
+        return "SdkIndexEntry(%s, %s)" % (self.name, self.category)
+
+
+class PlaySdkIndex:
+    """Longest-prefix package -> SDK lookup."""
+
+    def __init__(self, entries=()):
+        self._by_prefix = {}
+        for entry in entries:
+            self.register(entry)
+
+    def register(self, entry):
+        for prefix in entry.package_prefixes:
+            self._by_prefix[prefix] = entry
+        return entry
+
+    def lookup_package(self, java_package):
+        """Return the SdkIndexEntry owning ``java_package``, or None.
+
+        Uses longest-prefix matching so that e.g. ``com.google.firebase``
+        wins over a hypothetical ``com.google`` entry.
+        """
+        parts = java_package.split(".")
+        for end in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:end])
+            entry = self._by_prefix.get(prefix)
+            if entry is not None:
+                return entry
+        return None
+
+    def entries(self):
+        seen = []
+        for entry in self._by_prefix.values():
+            if entry not in seen:
+                seen.append(entry)
+        return seen
+
+    def __len__(self):
+        return len(self.entries())

@@ -1,0 +1,18 @@
+"""Rendering of paper-style tables and figure series as text.
+
+Benchmarks use these helpers to print the same rows/series the paper
+reports, so that a run's output can be compared side by side with the
+published tables and figures.
+"""
+
+from repro.reporting.table import Table
+from repro.reporting.figures import BarSeries, GroupedSeries, Heatmap
+from repro.reporting.markdown import table_to_markdown
+
+__all__ = [
+    "Table",
+    "BarSeries",
+    "GroupedSeries",
+    "Heatmap",
+    "table_to_markdown",
+]

@@ -1,0 +1,142 @@
+"""Text rendering of figure-style data: bar series, grouped series, heatmaps.
+
+The paper's figures (3, 4, 6, 7) are reproduced as numeric series; these
+classes render them legibly in a terminal so the shape of each figure can be
+compared against the published plot.
+"""
+
+
+class BarSeries:
+    """A single labelled series rendered as horizontal text bars."""
+
+    def __init__(self, title, unit="", max_width=40):
+        self.title = title
+        self.unit = unit
+        self.max_width = max_width
+        self.points = []
+
+    def add(self, label, value):
+        self.points.append((str(label), float(value)))
+
+    def render(self):
+        lines = [self.title]
+        if not self.points:
+            return "\n".join(lines + ["(no data)"])
+        label_width = max(len(label) for label, _ in self.points)
+        peak = max(value for _, value in self.points) or 1.0
+        for label, value in self.points:
+            bar = "#" * max(1, int(round(self.max_width * value / peak))) if value > 0 else ""
+            lines.append(
+                "%s  %8.2f%s  %s" % (label.ljust(label_width), value, self.unit, bar)
+            )
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return dict(self.points)
+
+    def __str__(self):
+        return self.render()
+
+
+class GroupedSeries:
+    """Several named series over a shared category axis (Figure 3 / 6)."""
+
+    def __init__(self, title, categories):
+        self.title = title
+        self.categories = list(categories)
+        self.series = {}
+
+    def add_series(self, name, values):
+        values = list(values)
+        if len(values) != len(self.categories):
+            raise ValueError(
+                "series %r has %d values for %d categories"
+                % (name, len(values), len(self.categories))
+            )
+        self.series[name] = values
+
+    def render(self):
+        lines = [self.title]
+        name_width = max(
+            [len(str(c)) for c in self.categories] + [len("category")]
+        )
+        header = "category".ljust(name_width) + "  " + "  ".join(
+            "%12s" % name[:12] for name in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, category in enumerate(self.categories):
+            row = str(category).ljust(name_width) + "  " + "  ".join(
+                "%12.2f" % values[i] for values in self.series.values()
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return {
+            name: dict(zip(self.categories, values))
+            for name, values in self.series.items()
+        }
+
+    def __str__(self):
+        return self.render()
+
+
+class Heatmap:
+    """A 2-D matrix of percentages (Figure 4 style)."""
+
+    SHADES = " .:-=+*#%@"
+
+    def __init__(self, title, row_labels, column_labels):
+        self.title = title
+        self.row_labels = list(row_labels)
+        self.column_labels = list(column_labels)
+        self.values = {
+            (r, c): 0.0 for r in self.row_labels for c in self.column_labels
+        }
+
+    def set(self, row, column, value):
+        if (row, column) not in self.values:
+            raise KeyError((row, column))
+        self.values[(row, column)] = float(value)
+
+    def get(self, row, column):
+        return self.values[(row, column)]
+
+    def _shade(self, value, peak):
+        if peak <= 0:
+            return self.SHADES[0]
+        index = int(round((len(self.SHADES) - 1) * value / peak))
+        return self.SHADES[max(0, min(len(self.SHADES) - 1, index))]
+
+    def render(self, numeric=True):
+        lines = [self.title]
+        row_width = max(len(str(r)) for r in self.row_labels)
+        col_width = 7 if numeric else 2
+        header = " " * row_width + " " + "".join(
+            str(c)[: col_width - 1].rjust(col_width) for c in self.column_labels
+        )
+        lines.append(header)
+        peak = max(self.values.values()) if self.values else 0.0
+        for row in self.row_labels:
+            cells = []
+            for column in self.column_labels:
+                value = self.values[(row, column)]
+                if numeric:
+                    cells.append(("%.1f" % value).rjust(col_width))
+                else:
+                    cells.append(self._shade(value, peak).rjust(col_width))
+            lines.append(str(row).ljust(row_width) + " " + "".join(cells))
+        return "\n".join(lines)
+
+    def as_dict(self):
+        result = {}
+        for row in self.row_labels:
+            result[row] = {
+                column: self.values[(row, column)]
+                for column in self.column_labels
+            }
+        return result
+
+    def __str__(self):
+        return self.render()

@@ -1,0 +1,25 @@
+"""Markdown export for tables, used to keep EXPERIMENTS.md current."""
+
+
+def table_to_markdown(table):
+    """Render a :class:`repro.reporting.Table` as GitHub-flavored markdown."""
+    records = table.as_records()
+    columns = table.columns
+    lines = []
+    if table.title:
+        lines.append("**%s**" % table.title)
+        lines.append("")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join(["---"] * len(columns)) + "|")
+    for record in records:
+        cells = []
+        for column in columns:
+            value = record[column]
+            if isinstance(value, int) and not isinstance(value, bool):
+                cells.append("{:,}".format(value))
+            elif isinstance(value, float):
+                cells.append("%.1f" % value)
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

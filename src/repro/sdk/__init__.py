@@ -1,0 +1,20 @@
+"""SDK catalog and package labelling (Section 3.1.4)."""
+
+from repro.sdk.catalog import (
+    SdkCategory,
+    SdkProfile,
+    build_catalog,
+    named_sdks,
+    GOOGLE_ANDROID_PREFIX,
+)
+from repro.sdk.labeling import SdkLabeler, PackageLabel
+
+__all__ = [
+    "SdkCategory",
+    "SdkProfile",
+    "build_catalog",
+    "named_sdks",
+    "SdkLabeler",
+    "PackageLabel",
+    "GOOGLE_ANDROID_PREFIX",
+]

@@ -1,0 +1,24 @@
+"""Deep-link (BROWSABLE) activity filtering — Section 3.1.3.
+
+"To filter out app activities that are likely to host first-party web
+content, we identified activities that can handle deep links to app content
+and excluded them from further consideration": ``exported`` activities with
+an intent filter of category BROWSABLE accepting http/https data.
+"""
+
+
+def deep_link_class_names(manifest):
+    """The set of activity class names the pipeline must exclude."""
+    return {activity.name for activity in manifest.deep_link_activities()}
+
+
+def is_excluded_caller(caller_class, excluded_names):
+    """True if a calling class belongs to an excluded deep-link activity.
+
+    Inner classes (``Outer$Inner``) of an excluded activity are excluded
+    with it, since they share the activity's content-hosting role.
+    """
+    if caller_class in excluded_names:
+        return True
+    outer = caller_class.split("$", 1)[0]
+    return outer in excluded_names

@@ -1,0 +1,110 @@
+"""Research-data export.
+
+The paper offers to "share the code and data used to derive the results
+... with researchers interested in reproducing and extending our work".
+This module is that data release: per-app records, SDK attribution and
+the full funnel as JSON or CSV, stable across runs at a fixed seed.
+"""
+
+import csv
+import io
+import json
+
+from repro.static_analysis.results import RecordedCall
+
+
+def app_record(analysis, attribution):
+    """One app's exportable record."""
+    return {
+        "package": analysis.package,
+        "category": str(analysis.category) if analysis.category else None,
+        "installs": analysis.installs,
+        "failed": analysis.failed,
+        "uses_webview": analysis.uses_webview,
+        "uses_customtabs": analysis.uses_customtabs,
+        "webview_methods": sorted(analysis.webview_methods_used()),
+        "webview_subclasses": sorted(analysis.webview_subclasses),
+        "webview_sdks": sorted(
+            sdk.name for sdk in attribution.webview.sdks
+        ),
+        "ct_sdks": sorted(
+            sdk.name for sdk in attribution.customtabs.sdks
+        ),
+        "webview_first_party": attribution.webview.first_party,
+        "unknown_packages": sorted(attribution.webview.unknown_packages),
+        "obfuscated_packages": sorted(
+            attribution.webview.obfuscated_packages
+        ),
+        "excluded_calls": sum(
+            1 for call in analysis.calls if call.excluded
+        ),
+        "unreachable_calls": sum(
+            1 for call in analysis.calls if not call.reachable
+        ),
+    }
+
+
+def export_study_json(result, indent=None):
+    """The whole study as a JSON document string."""
+    records = []
+    for analysis in result.successful():
+        attribution = analysis.label_sdks(result.labeler)
+        records.append(app_record(analysis, attribution))
+    document = {
+        "schema": "repro.whatcha-lookin-at/1",
+        "funnel": result.funnel_dict(),
+        "broken_apks": result.broken,
+        "apps": records,
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+_CSV_COLUMNS = (
+    "package", "category", "installs", "uses_webview", "uses_customtabs",
+    "webview_methods", "webview_sdks", "ct_sdks", "webview_first_party",
+    "excluded_calls", "unreachable_calls",
+)
+
+
+def export_study_csv(result):
+    """Per-app CSV (list fields joined with '|')."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_COLUMNS)
+    for analysis in result.successful():
+        attribution = analysis.label_sdks(result.labeler)
+        record = app_record(analysis, attribution)
+        row = []
+        for column in _CSV_COLUMNS:
+            value = record[column]
+            if isinstance(value, list):
+                value = "|".join(value)
+            row.append(value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def export_calls_csv(result, counting_only=True):
+    """Call-level CSV: one row per recorded WebView/CT call."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(("package", "kind", "method", "caller_class",
+                     "receiver_class", "reachable", "excluded"))
+    for analysis in result.successful():
+        for call in analysis.calls:
+            if counting_only and not call.counts:
+                continue
+            writer.writerow((
+                analysis.package, call.kind, call.method,
+                call.caller_class, call.receiver_class,
+                call.reachable, call.excluded,
+            ))
+    return buffer.getvalue()
+
+
+def load_study_json(text):
+    """Parse a previously exported document (round-trip support)."""
+    document = json.loads(text)
+    if document.get("schema") != "repro.whatcha-lookin-at/1":
+        raise ValueError("unrecognized export schema")
+    return document

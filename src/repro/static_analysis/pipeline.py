@@ -1,0 +1,204 @@
+"""The Figure 1 static-analysis pipeline, end to end.
+
+:func:`analyze_apk_bytes` performs steps (3)-(5) for a single APK:
+decompile, find WebView subclasses in parsed source, build the call graph,
+traverse from all entry points, and record every WebView/CT call with
+reachability and deep-link-exclusion flags.
+
+:class:`StaticAnalysisPipeline` performs steps (1)-(2) around it: list the
+AndroZoo snapshot, fetch Play metadata, apply the 100K-downloads and
+updated-after-2021 filters, download APKs, and aggregate a
+:class:`~repro.static_analysis.results.StudyResult`.
+"""
+
+from repro.android import api
+from repro.callgraph.builder import build_call_graph
+from repro.callgraph.entrypoints import entry_point_methods
+from repro.decompiler.jadx import Decompiler
+from repro.dex.model import MethodRef
+from repro.errors import BrokenApkError
+from repro.sdk.labeling import SdkLabeler
+from repro.static_analysis.deeplinks import (
+    deep_link_class_names,
+    is_excluded_caller,
+)
+from repro.static_analysis.results import (
+    AppAnalysis,
+    RecordedCall,
+    StudyResult,
+)
+from repro.static_analysis.webview_usage import find_webview_subclasses
+
+
+class PipelineOptions:
+    """Feature switches, used by the ablation benchmarks.
+
+    All three default to the paper's methodology. Disabling
+    ``entry_point_traversal`` treats every recorded call as reachable
+    (naive whole-code scan); disabling ``deep_link_filter`` keeps
+    first-party deep-link activities in the counts; disabling
+    ``subclass_detection`` misses calls made through custom WebView
+    subclasses.
+    """
+
+    def __init__(self, entry_point_traversal=True, deep_link_filter=True,
+                 subclass_detection=True):
+        self.entry_point_traversal = entry_point_traversal
+        self.deep_link_filter = deep_link_filter
+        self.subclass_detection = subclass_detection
+
+
+def _is_webview_call(ref, subclasses):
+    """A tracked WebView method on the framework class or a subclass."""
+    if ref.method_name not in api.WEBVIEW_TRACKED_METHODS:
+        return False
+    return ref.class_name == api.WEBVIEW_CLASS or ref.class_name in subclasses
+
+
+def analyze_apk_bytes(data, options=None, decompiler=None, category=None,
+                      installs=0):
+    """Run the per-APK analysis (Figure 1 steps 3-5) on APK bytes.
+
+    Raises :class:`~repro.errors.BrokenApkError` for unanalyzable APKs.
+    """
+    options = options or PipelineOptions()
+    decompiler = decompiler or Decompiler()
+
+    decompiled = decompiler.decompile_bytes(data)
+    analysis = AppAnalysis(decompiled.package, category=category,
+                           installs=installs)
+    analysis.class_count = len(decompiled.sources)
+
+    if options.subclass_detection:
+        analysis.webview_subclasses = find_webview_subclasses(decompiled)
+
+    manifest = decompiled.manifest
+    dex = _read_dex(data)
+    graph = build_call_graph(dex)
+
+    reachable = None
+    if options.entry_point_traversal:
+        roots = [
+            MethodRef(dex_class.name, method.name, method.descriptor)
+            for dex_class, method in entry_point_methods(dex, manifest)
+        ]
+        reachable = graph.reachable_from(roots)
+
+    excluded_names = (
+        deep_link_class_names(manifest) if options.deep_link_filter else set()
+    )
+
+    for dex_class, method in dex.iter_methods():
+        caller = MethodRef(dex_class.name, method.name, method.descriptor)
+        caller_reachable = True
+        if reachable is not None:
+            caller_reachable = caller in reachable
+        caller_excluded = is_excluded_caller(dex_class.name, excluded_names)
+        for ref in method.invoked_refs():
+            if _is_webview_call(ref, analysis.webview_subclasses):
+                analysis.record(
+                    RecordedCall(
+                        RecordedCall.WEBVIEW, ref.method_name,
+                        dex_class.name, ref.class_name,
+                        reachable=caller_reachable,
+                        excluded=caller_excluded,
+                    )
+                )
+            elif api.is_customtabs_init(ref):
+                analysis.record(
+                    RecordedCall(
+                        RecordedCall.CUSTOMTABS, ref.method_name,
+                        dex_class.name, ref.class_name,
+                        reachable=caller_reachable,
+                        excluded=caller_excluded,
+                    )
+                )
+    return analysis
+
+
+def _read_dex(data):
+    from repro.apk.container import read_apk
+
+    return read_apk(data).dex
+
+
+class StaticAnalysisPipeline:
+    """The corpus-level study runner (Figure 1 steps 1-2 + aggregation)."""
+
+    def __init__(self, corpus, options=None, labeler=None):
+        self.corpus = corpus
+        self.options = options or PipelineOptions()
+        self.labeler = labeler or SdkLabeler(corpus.catalog)
+        self.decompiler = Decompiler()
+
+    def select_apps(self):
+        """Steps (1)-(2): snapshot listing + metadata filters.
+
+        Returns (selected_rows, funnel_counts) where each selected row is
+        an (IndexRow, AppListing) pair.
+        """
+        from repro.androzoo.repository import PLAY_MARKET
+        from repro.playstore.store import PlayScraperClient
+
+        config = self.corpus.config
+        snapshot = self.corpus.repository.snapshot(config.snapshot_date)
+        packages = snapshot.packages(market=PLAY_MARKET)
+        scraper = PlayScraperClient(self.corpus.store)
+
+        funnel = {
+            "androzoo_play_apps": len(packages),
+            "found_on_play": 0,
+            "with_100k_downloads": 0,
+            "updated_after_2021": 0,
+        }
+        selected = []
+        for package in packages:
+            listing = scraper.try_app_listing(package)
+            if listing is None:
+                continue
+            funnel["found_on_play"] += 1
+            if listing.installs < config.min_installs:
+                continue
+            funnel["with_100k_downloads"] += 1
+            if listing.updated < config.update_cutoff:
+                continue
+            funnel["updated_after_2021"] += 1
+            row = snapshot.latest_version(package)
+            selected.append((row, listing))
+        return selected, funnel
+
+    def run(self, max_apps=None, progress=None):
+        """Run the full study; returns a :class:`StudyResult`."""
+        selected, funnel = self.select_apps()
+        if max_apps is not None:
+            selected = selected[:max_apps]
+
+        result = StudyResult(self.labeler)
+        result.androzoo_play_apps = funnel["androzoo_play_apps"]
+        result.found_on_play = funnel["found_on_play"]
+        result.popular = funnel["with_100k_downloads"]
+        result.selected = funnel["updated_after_2021"]
+
+        for position, (row, listing) in enumerate(selected):
+            data = self.corpus.repository.download(row.sha256)
+            try:
+                analysis = analyze_apk_bytes(
+                    data,
+                    options=self.options,
+                    decompiler=self.decompiler,
+                    category=listing.category,
+                    installs=listing.installs,
+                )
+            except BrokenApkError as exc:
+                analysis = AppAnalysis(row.package,
+                                       category=listing.category,
+                                       installs=listing.installs)
+                analysis.failed = True
+                analysis.failure_reason = str(exc)
+                result.broken += 1
+            else:
+                result.analyzed += 1
+            result.add(analysis)
+            if progress is not None and (position + 1) % 200 == 0:
+                progress(position + 1, len(selected))
+        return result

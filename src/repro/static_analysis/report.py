@@ -1,0 +1,313 @@
+"""Aggregation of a StudyResult into the paper's tables and figures.
+
+One :class:`Aggregator` pass over the analyses computes everything needed
+for Tables 2, 3, 4, 5 and 7 and Figures 3 and 4; ``table*``/``figure*``
+helpers render :mod:`repro.reporting` objects with the same rows/series as
+the paper.
+"""
+
+from collections import defaultdict
+
+from repro.android.api import WEBVIEW_TRACKED_METHODS
+from repro.reporting import GroupedSeries, Heatmap, Table
+from repro.sdk.catalog import SdkCategory
+from repro.sdk.labeling import PackageLabel
+from repro.static_analysis.results import RecordedCall
+
+
+class Aggregator:
+    """Single-pass ecosystem aggregation over a StudyResult."""
+
+    def __init__(self, result):
+        self.result = result
+        self.labeler = result.labeler
+
+        self.total_analyzed = result.analyzed
+        self.webview_apps = 0
+        self.ct_apps = 0
+        self.both_apps = 0
+        self.webview_apps_with_sdks = 0
+        self.ct_apps_with_sdks = 0
+        self.both_apps_with_sdks = 0
+
+        #: method -> (apps calling it, apps calling it via top SDKs)
+        self.method_apps = defaultdict(int)
+        self.method_apps_via_sdk = defaultdict(int)
+
+        #: sdk name -> apps embedding it per mechanism
+        self.sdk_webview_apps = defaultdict(int)
+        self.sdk_ct_apps = defaultdict(int)
+        self._sdk_by_name = {}
+
+        #: (sdk_category, method) -> apps; sdk_category -> apps (via wv)
+        self.category_method_apps = defaultdict(int)
+        self.category_webview_apps = defaultdict(int)
+        self.category_ct_apps = defaultdict(int)
+
+        #: app category -> {sdk type -> apps} per mechanism
+        self.appcat_webview = defaultdict(lambda: defaultdict(int))
+        self.appcat_ct = defaultdict(lambda: defaultdict(int))
+        self.appcat_totals = defaultdict(int)
+
+        self.unknown_packages = set()
+        self.obfuscated_packages = set()
+
+        self._run()
+
+    def _run(self):
+        for analysis in self.result.successful():
+            self._aggregate_app(analysis)
+
+    def _aggregate_app(self, analysis):
+        uses_wv = analysis.uses_webview
+        uses_ct = analysis.uses_customtabs
+        if analysis.category is not None:
+            self.appcat_totals[analysis.category] += 1
+        if not (uses_wv or uses_ct):
+            return
+        attribution = analysis.label_sdks(self.labeler)
+        if uses_wv:
+            self.webview_apps += 1
+            if attribution.webview.uses_top_sdks:
+                self.webview_apps_with_sdks += 1
+        if uses_ct:
+            self.ct_apps += 1
+            if attribution.customtabs.uses_top_sdks:
+                self.ct_apps_with_sdks += 1
+        if uses_wv and uses_ct:
+            self.both_apps += 1
+            if (attribution.webview.uses_top_sdks
+                    or attribution.customtabs.uses_top_sdks):
+                self.both_apps_with_sdks += 1
+
+        self.unknown_packages.update(attribution.webview.unknown_packages)
+        self.unknown_packages.update(attribution.customtabs.unknown_packages)
+        self.obfuscated_packages.update(
+            attribution.webview.obfuscated_packages
+        )
+        self.obfuscated_packages.update(
+            attribution.customtabs.obfuscated_packages
+        )
+
+        webview_types = set()
+        for sdk in attribution.webview.sdks:
+            self.sdk_webview_apps[sdk.name] += 1
+            self._sdk_by_name[sdk.name] = sdk
+            webview_types.add(sdk.category)
+        for sdk_type in webview_types:
+            self.category_webview_apps[sdk_type] += 1
+            if analysis.category is not None:
+                self.appcat_webview[analysis.category][sdk_type] += 1
+        ct_types = set()
+        for sdk in attribution.customtabs.sdks:
+            self.sdk_ct_apps[sdk.name] += 1
+            self._sdk_by_name[sdk.name] = sdk
+            ct_types.add(sdk.category)
+        for sdk_type in ct_types:
+            self.category_ct_apps[sdk_type] += 1
+            if analysis.category is not None:
+                self.appcat_ct[analysis.category][sdk_type] += 1
+
+        # Per-method usage (Table 7) and per-SDK-type method mix (Figure 4).
+        methods_seen = set()
+        methods_via_sdk = set()
+        category_methods = set()
+        for call in analysis.counting_calls(RecordedCall.WEBVIEW):
+            methods_seen.add(call.method)
+            label = self.labeler.label(call.caller_package)
+            if label.status == PackageLabel.KNOWN:
+                methods_via_sdk.add(call.method)
+            if label.sdk is not None:
+                # Obfuscated-but-catalogued SDKs still contribute to the
+                # per-type method mix (their type is Unknown).
+                category_methods.add((label.sdk.category, call.method))
+        for method in methods_seen:
+            self.method_apps[method] += 1
+        for method in methods_via_sdk:
+            self.method_apps_via_sdk[method] += 1
+        for pair in category_methods:
+            self.category_method_apps[pair] += 1
+
+    # -- SDK mechanism classification -------------------------------------------
+
+    def observed_sdk_mechanisms(self):
+        """sdk name -> ('webview'|'ct'|'both') over the whole corpus."""
+        mechanisms = {}
+        names = set(self.sdk_webview_apps) | set(self.sdk_ct_apps)
+        for name in names:
+            wv = self.sdk_webview_apps.get(name, 0) > 0
+            ct = self.sdk_ct_apps.get(name, 0) > 0
+            mechanisms[name] = "both" if (wv and ct) else (
+                "webview" if wv else "ct"
+            )
+        return mechanisms
+
+    def sdk_profile(self, name):
+        return self._sdk_by_name[name]
+
+
+# -- Tables -------------------------------------------------------------------
+
+def table2(result):
+    """Table 2: the dataset funnel."""
+    table = Table(["Dataset", "No. of apps"],
+                  title="Table 2: Statistics for apps statically analyzed")
+    funnel = result.funnel_dict()
+    table.add_row("Play Store apps in Androzoo", funnel["androzoo_play_apps"])
+    table.add_row("Apps found on Play Store", funnel["found_on_play"])
+    table.add_row("Apps with 100k+ downloads", funnel["with_100k_downloads"])
+    table.add_row("Apps with 100k+ downloads and updated after 2021",
+                  funnel["updated_after_2021"])
+    table.add_row("Apps successfully analyzed",
+                  funnel["successfully_analyzed"])
+    return table
+
+
+def table3(aggregator):
+    """Table 3: SDK counts per type x mechanism."""
+    mechanisms = aggregator.observed_sdk_mechanisms()
+    per_type = defaultdict(lambda: {"webview": 0, "ct": 0, "both": 0})
+    for name, mechanism in mechanisms.items():
+        category = aggregator.sdk_profile(name).category
+        if mechanism == "both":
+            per_type[category]["webview"] += 1
+            per_type[category]["ct"] += 1
+            per_type[category]["both"] += 1
+        else:
+            per_type[category][mechanism] += 1
+
+    table = Table(
+        ["Type of SDK", "Use WebViews", "Use CT", "Use both"],
+        title="Table 3: Use of WebViews and CTs in SDKs",
+    )
+    totals = [0, 0, 0]
+    for category in SdkCategory:
+        counts = per_type.get(category)
+        if counts is None:
+            continue
+        table.add_row(str(category), counts["webview"], counts["ct"],
+                      counts["both"])
+        totals[0] += counts["webview"]
+        totals[1] += counts["ct"]
+        totals[2] += counts["both"]
+    table.add_row("Total", *totals)
+    return table
+
+
+def _popular_sdk_table(aggregator, per_sdk_apps, title, top_n=5):
+    by_type = defaultdict(list)
+    for name, apps in per_sdk_apps.items():
+        category = aggregator.sdk_profile(name).category
+        by_type[category].append((name, apps))
+    table = Table(["Type of SDK", "Total #apps", "SDK Name", "#apps"],
+                  title=title)
+    ordered = sorted(
+        by_type.items(), key=lambda item: -sum(a for _, a in item[1])
+    )
+    for category, sdk_list in ordered:
+        total = sum(apps for _, apps in sdk_list)
+        sdk_list.sort(key=lambda pair: -pair[1])
+        for position, (name, apps) in enumerate(sdk_list[:top_n]):
+            table.add_row(
+                str(category) if position == 0 else "",
+                total if position == 0 else "",
+                name, apps,
+            )
+    return table
+
+
+def table4(aggregator, top_n=5):
+    """Table 4: popular SDKs using WebViews."""
+    return _popular_sdk_table(
+        aggregator, aggregator.sdk_webview_apps,
+        "Table 4: Popular SDKs which use WebViews", top_n,
+    )
+
+
+def table5(aggregator, top_n=3):
+    """Table 5: popular SDKs using CTs."""
+    return _popular_sdk_table(
+        aggregator, aggregator.sdk_ct_apps,
+        "Table 5: Popular SDKs which use CTs", top_n,
+    )
+
+
+def table7(aggregator):
+    """Table 7: apps using WebViews/CTs and per-method app counts."""
+    table = Table(
+        ["Dataset", "Total #apps", "#apps using top SDKs"],
+        title="Table 7: Apps using WebViews and CTs",
+    )
+    table.add_row("Apps using WebViews", aggregator.webview_apps,
+                  aggregator.webview_apps_with_sdks)
+    ordered_methods = sorted(
+        WEBVIEW_TRACKED_METHODS,
+        key=lambda m: -aggregator.method_apps.get(m, 0),
+    )
+    for method in ordered_methods:
+        table.add_row("  " + method, aggregator.method_apps.get(method, 0),
+                      aggregator.method_apps_via_sdk.get(method, 0))
+    table.add_row("Apps using CTs", aggregator.ct_apps,
+                  aggregator.ct_apps_with_sdks)
+    table.add_row("Apps using both WebViews and CTs", aggregator.both_apps,
+                  aggregator.both_apps_with_sdks)
+    return table
+
+
+# -- Figures ---------------------------------------------------------------------
+
+def figure3(aggregator, top_n=10):
+    """Figure 3: SDK use-case distribution per top app category.
+
+    Returns (webview GroupedSeries, ct GroupedSeries) of per-category
+    percentages of apps using each SDK type.
+    """
+    def build(per_appcat, label):
+        ranked = sorted(
+            per_appcat.items(),
+            key=lambda item: -sum(item[1].values()),
+        )[:top_n]
+        categories = [str(app_category) for app_category, _ in ranked]
+        series = GroupedSeries(
+            "Figure 3 (%s): SDK use per app category (%% of category apps)"
+            % label,
+            categories,
+        )
+        sdk_types = [c for c in SdkCategory]
+        for sdk_type in sdk_types:
+            values = []
+            for app_category, counts in ranked:
+                total = aggregator.appcat_totals.get(app_category, 0) or 1
+                values.append(100.0 * counts.get(sdk_type, 0) / total)
+            if any(values):
+                series.add_series(str(sdk_type), values)
+        return series
+
+    return (
+        build(aggregator.appcat_webview, "WebViews"),
+        build(aggregator.appcat_ct, "CTs"),
+    )
+
+
+def figure4(aggregator):
+    """Figure 4: heatmap of WebView API method calls by SDK type.
+
+    Cell (T, m) = percent of apps using a type-T SDK via WebViews whose
+    type-T SDK code calls method m.
+    """
+    rows = [
+        category for category in SdkCategory
+        if aggregator.category_webview_apps.get(category, 0) > 0
+    ]
+    heatmap = Heatmap(
+        "Figure 4: WebView API method calls by SDK type (% of type's apps)",
+        [str(r) for r in rows],
+        list(WEBVIEW_TRACKED_METHODS),
+    )
+    for category in rows:
+        denominator = aggregator.category_webview_apps[category]
+        for method in WEBVIEW_TRACKED_METHODS:
+            count = aggregator.category_method_apps.get((category, method), 0)
+            heatmap.set(str(category), method,
+                        100.0 * count / denominator)
+    return heatmap

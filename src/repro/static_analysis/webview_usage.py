@@ -1,0 +1,66 @@
+"""Custom WebView subclass detection over decompiled sources (3.1.2).
+
+The paper decompiles each APK and parses every source file that imports
+``android.webkit.WebView``, extracting classes that extend it. Calls to
+those subclasses' inherited ``loadUrl``/... must count as WebView usage,
+which bytecode alone cannot decide when the subclass hierarchy is only
+visible in source — this is the pipeline step that makes decompilation
+load-bearing.
+"""
+
+from repro.android.api import WEBVIEW_CLASS
+from repro.errors import JavaSyntaxError
+from repro.javasrc.parser import parse_java
+
+
+def find_webview_subclasses(decompiled_app):
+    """Return the qualified names of classes extending WebView.
+
+    Follows the paper's two-phase approach: (1) cheap textual screen for
+    files importing/naming ``android.webkit.WebView``; (2) full parse of
+    the screened files and import-resolved ``extends`` checks. Transitive
+    subclasses (A extends B extends WebView) are resolved iteratively.
+    Files that fail to parse are skipped, as javalang failures were.
+    """
+    direct = set()
+    extends_map = {}
+    for class_name, source in decompiled_app.sources.items():
+        if WEBVIEW_CLASS.rsplit(".", 1)[0] not in source and "WebView" not in source:
+            continue
+        try:
+            unit = parse_java(source)
+        except JavaSyntaxError:
+            continue
+        for class_decl in _iter_class_decls(unit):
+            qualified = _qualified_name(unit, class_decl)
+            if class_decl.extends is None:
+                continue
+            resolved = unit.resolve_type(class_decl.extends)
+            extends_map[qualified] = resolved
+            if resolved == WEBVIEW_CLASS:
+                direct.add(qualified)
+
+    # Transitive closure: classes extending a detected subclass.
+    subclasses = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for qualified, parent in extends_map.items():
+            if parent in subclasses and qualified not in subclasses:
+                subclasses.add(qualified)
+                changed = True
+    return subclasses
+
+
+def _iter_class_decls(unit):
+    stack = list(unit.types)
+    while stack:
+        class_decl = stack.pop()
+        yield class_decl
+        stack.extend(class_decl.inner_classes)
+
+
+def _qualified_name(unit, class_decl):
+    if unit.package:
+        return "%s.%s" % (unit.package, class_decl.name)
+    return class_decl.name

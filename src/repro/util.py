@@ -1,0 +1,128 @@
+"""Shared utilities: deterministic RNG, identifiers, hashing, date helpers.
+
+The whole library is deterministic: every stochastic component receives an
+explicit seed (directly or via :func:`derive_seed`), so repeated runs of any
+study or benchmark reproduce bit-for-bit identical results.
+"""
+
+import hashlib
+import random
+
+#: Default seed — the date of the AndroZoo snapshot used by the paper
+#: (January 13, 2023).
+DEFAULT_SEED = 20230113
+
+
+def make_rng(seed):
+    """Return a :class:`random.Random` seeded deterministically.
+
+    ``seed`` may be an int, a string, or a tuple of both; non-int seeds are
+    hashed into a stable 64-bit integer so that the same label always yields
+    the same stream regardless of Python hash randomization.
+    """
+    if isinstance(seed, int):
+        return random.Random(seed)
+    return random.Random(stable_hash(seed))
+
+
+def derive_seed(base_seed, *labels):
+    """Derive a child seed from ``base_seed`` and a label path.
+
+    Used to give each generated artifact (app, class, site, ...) its own
+    independent, reproducible stream.
+    """
+    material = repr((base_seed,) + labels)
+    return stable_hash(material)
+
+
+def stable_hash(value, bits=64):
+    """Hash ``value`` (via ``repr``) into a stable unsigned integer."""
+    if not isinstance(value, (str, bytes)):
+        value = repr(value)
+    if isinstance(value, str):
+        value = value.encode("utf-8")
+    digest = hashlib.sha256(value).digest()
+    return int.from_bytes(digest[: bits // 8], "big")
+
+
+def sha256_hex(data):
+    """Return the hex SHA-256 of ``data`` (bytes)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def weighted_choice(rng, weighted_items):
+    """Pick one key from ``{item: weight}`` using ``rng``.
+
+    Accepts a dict or a list of ``(item, weight)`` pairs. Raises
+    ``ValueError`` on an empty or all-zero weighting.
+    """
+    if isinstance(weighted_items, dict):
+        pairs = list(weighted_items.items())
+    else:
+        pairs = list(weighted_items)
+    total = sum(weight for _, weight in pairs)
+    if total <= 0:
+        raise ValueError("weighted_choice requires positive total weight")
+    target = rng.uniform(0, total)
+    cumulative = 0.0
+    for item, weight in pairs:
+        cumulative += weight
+        if target <= cumulative:
+            return item
+    return pairs[-1][0]
+
+
+def zipf_installs(rng, rank, scale=1.0, exponent=0.85, floor=100_000):
+    """Sample an install count for an app of popularity ``rank`` (1-based).
+
+    Play Store install counts follow a heavy-tailed distribution; the most
+    popular apps in the paper's dataset have billions of downloads while the
+    long tail sits near the 100K cutoff. The returned count is then snapped
+    to Play-Store-style buckets (100K+, 500K+, 1M+, ...).
+    """
+    top = 10_000_000_000 * scale
+    raw = top / (rank ** exponent)
+    jitter = rng.uniform(0.6, 1.4)
+    value = max(floor, raw * jitter)
+    return snap_to_install_bucket(value)
+
+
+_INSTALL_BUCKETS = (
+    100_000, 500_000, 1_000_000, 5_000_000, 10_000_000, 50_000_000,
+    100_000_000, 500_000_000, 1_000_000_000, 5_000_000_000, 10_000_000_000,
+)
+
+
+def snap_to_install_bucket(value):
+    """Snap an install count down to the nearest Play Store bucket."""
+    snapped = _INSTALL_BUCKETS[0]
+    for bucket in _INSTALL_BUCKETS:
+        if value >= bucket:
+            snapped = bucket
+        else:
+            break
+    return snapped
+
+
+def format_count(value):
+    """Format a count the way the paper does: 27,397 / 8.4B / 289M / 146.5K."""
+    return "{:,}".format(value)
+
+
+def format_abbrev(value):
+    """Abbreviate a number: 8.4B, 289M, 146.5K."""
+    for magnitude, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if value >= magnitude:
+            scaled = value / magnitude
+            text = "%.1f" % scaled
+            if text.endswith(".0"):
+                text = text[:-2]
+            return text + suffix
+    return str(value)
+
+
+def percent(part, whole):
+    """Return ``part / whole`` as a percentage, 0.0 if ``whole`` is zero."""
+    if not whole:
+        return 0.0
+    return 100.0 * part / whole

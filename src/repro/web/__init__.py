@@ -1,0 +1,31 @@
+"""Web substrate: URLs, DOM, HTML parsing, a JS interpreter, Web API
+interception, the controlled test page, top-site models and endpoint
+classification — everything the dynamic pipeline's measurements run on.
+"""
+
+from repro.web.urls import Url, parse_url
+from repro.web.dom import Document, Element, TextNode
+from repro.web.htmlparser import parse_html
+from repro.web.webapi import WebApiRecorder
+from repro.web.jsengine import JsInterpreter, run_script
+from repro.web.html5_testpage import HTML5_TEST_PAGE, build_test_document
+from repro.web.sites import SiteProfile, top_sites
+from repro.web.classify import EndpointCategory, classify_endpoint
+
+__all__ = [
+    "Url",
+    "parse_url",
+    "Document",
+    "Element",
+    "TextNode",
+    "parse_html",
+    "WebApiRecorder",
+    "JsInterpreter",
+    "run_script",
+    "HTML5_TEST_PAGE",
+    "build_test_document",
+    "SiteProfile",
+    "top_sites",
+    "EndpointCategory",
+    "classify_endpoint",
+]

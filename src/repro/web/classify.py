@@ -1,0 +1,122 @@
+"""Endpoint classification — the Symantec Sitereview analogue.
+
+The paper classifies the endpoints contacted by each IAB (Figure 6) into
+types such as trackers, ad networks, CDNs and first-party services. We
+classify by registrable domain against a curated map, with heuristic
+fallbacks on host substrings.
+"""
+
+import enum
+
+from repro.web.urls import parse_url, Url
+
+
+class EndpointCategory(enum.Enum):
+    INTENDED_SITE = "Intended site"
+    TRACKER = "Tracker"
+    AD_NETWORK = "Ad network"
+    CDN = "CDN"
+    ANALYTICS = "Analytics"
+    SOCIAL = "Social"
+    APP_SERVICE = "App service"
+    OTHER = "Other"
+
+    def __str__(self):
+        return self.value
+
+
+#: Known third-party endpoint domains (the ones the paper names plus the
+#: usual suspects its crawls would meet).
+KNOWN_ENDPOINTS = {
+    # Network measurement / trackers (LinkedIn's IAB, 4.2.2).
+    "cedexis-radar.net": EndpointCategory.TRACKER,
+    "cedexis.com": EndpointCategory.TRACKER,
+    "scorecardresearch.com": EndpointCategory.TRACKER,
+    "doubleverify.com": EndpointCategory.TRACKER,
+    # Ad networks (Kik's IAB, 4.2.4; Moj/Chingari via Google Ads, 4.2.3).
+    "mopub.com": EndpointCategory.AD_NETWORK,
+    "inmobicdn.net": EndpointCategory.AD_NETWORK,
+    "inmobi.com": EndpointCategory.AD_NETWORK,
+    "doubleclick.net": EndpointCategory.AD_NETWORK,
+    "googlesyndication.com": EndpointCategory.AD_NETWORK,
+    "adnxs.com": EndpointCategory.AD_NETWORK,
+    "criteo.com": EndpointCategory.AD_NETWORK,
+    "taboola.com": EndpointCategory.AD_NETWORK,
+    "outbrain.com": EndpointCategory.AD_NETWORK,
+    # CDNs.
+    "cloudfront.net": EndpointCategory.CDN,
+    "akamaihd.net": EndpointCategory.CDN,
+    "akamai.net": EndpointCategory.CDN,
+    "fastly.net": EndpointCategory.CDN,
+    "cloudflare.com": EndpointCategory.CDN,
+    "licdn.com": EndpointCategory.CDN,
+    "fbcdn.net": EndpointCategory.CDN,
+    "twimg.com": EndpointCategory.CDN,
+    "gstatic.com": EndpointCategory.CDN,
+    # Analytics.
+    "google-analytics.com": EndpointCategory.ANALYTICS,
+    "googletagmanager.com": EndpointCategory.ANALYTICS,
+    "mixpanel.com": EndpointCategory.ANALYTICS,
+    "amplitude.com": EndpointCategory.ANALYTICS,
+    "branch.io": EndpointCategory.ANALYTICS,
+    # Social widgets.
+    "facebook.net": EndpointCategory.SOCIAL,
+    "platform.twitter.com": EndpointCategory.SOCIAL,
+}
+
+#: First-party app services contacted by specific IABs (Figure 6 callouts).
+APP_SERVICE_DOMAINS = {
+    "linkedin.com": EndpointCategory.APP_SERVICE,   # px.ads / perf hosts
+    "facebook.com": EndpointCategory.APP_SERVICE,   # lm.facebook.com/l.php
+    "instagram.com": EndpointCategory.APP_SERVICE,  # l.instagram.com
+    "t.co": EndpointCategory.APP_SERVICE,           # Twitter redirector
+    "kik.com": EndpointCategory.APP_SERVICE,
+    "snapchat.com": EndpointCategory.APP_SERVICE,
+    "pinterest.com": EndpointCategory.APP_SERVICE,
+    "reddit.com": EndpointCategory.APP_SERVICE,
+    "sharechat.com": EndpointCategory.APP_SERVICE,
+    "chingari.io": EndpointCategory.APP_SERVICE,
+    "discord.com": EndpointCategory.APP_SERVICE,
+}
+
+_HEURISTIC_SUBSTRINGS = (
+    (("ads", "adserver", "adsystem", "advert"), EndpointCategory.AD_NETWORK),
+    (("track", "pixel", "beacon", "telemetry", "radar"),
+     EndpointCategory.TRACKER),
+    (("cdn", "static", "assets", "edge"), EndpointCategory.CDN),
+    (("analytics", "metrics", "stats", "perf"), EndpointCategory.ANALYTICS),
+)
+
+
+def classify_endpoint(url_or_host, intended_url=None):
+    """Classify one contacted endpoint.
+
+    ``intended_url`` is the page the user meant to visit; anything
+    same-site with it is :attr:`EndpointCategory.INTENDED_SITE`.
+    """
+    if isinstance(url_or_host, Url):
+        url = url_or_host
+    elif "://" in str(url_or_host):
+        url = parse_url(str(url_or_host))
+    else:
+        url = Url("https", str(url_or_host))
+
+    if intended_url is not None:
+        if isinstance(intended_url, str):
+            intended_url = parse_url(intended_url)
+        if url.same_site(intended_url):
+            return EndpointCategory.INTENDED_SITE
+
+    domain = url.registrable_domain
+    if domain in KNOWN_ENDPOINTS:
+        return KNOWN_ENDPOINTS[domain]
+    if url.host in KNOWN_ENDPOINTS:
+        return KNOWN_ENDPOINTS[url.host]
+    if domain in APP_SERVICE_DOMAINS:
+        return APP_SERVICE_DOMAINS[domain]
+
+    host = url.host
+    for needles, category in _HEURISTIC_SUBSTRINGS:
+        if any(needle in host for needle in needles):
+            return category
+    return EndpointCategory.OTHER

@@ -1,0 +1,84 @@
+"""The controlled web page (Section 3.2.2).
+
+The paper hosts Bracco et al.'s HTML5 test page — a page composed of the
+common HTML elements — on their own server and navigates each WebView-based
+IAB to it. This module carries an equivalent page and a builder that parses
+it into a DOM, ready for the interception bridge.
+"""
+
+from repro.web.htmlparser import parse_html
+
+#: Our rendition of the HTML5 test page: one of (almost) everything.
+HTML5_TEST_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+  <meta charset="utf-8">
+  <meta name="viewport" content="width=device-width, initial-scale=1">
+  <meta name="description" content="HTML5 element test page">
+  <title>HTML5 Test Page</title>
+  <link rel="stylesheet" href="/css/normalize.css">
+</head>
+<body id="top">
+  <header id="header">
+    <h1 id="title">HTML5 Test Page</h1>
+    <p>A page filled with common HTML elements.</p>
+    <nav>
+      <ul>
+        <li><a href="#text">Text</a></li>
+        <li><a href="#embedded">Embedded content</a></li>
+        <li><a href="#forms">Forms</a></li>
+      </ul>
+    </nav>
+  </header>
+  <main id="content">
+    <section id="text">
+      <h2>Text</h2>
+      <p class="lead">Lorem ipsum dolor sit amet, consectetur adipiscing
+      elit, sed do eiusmod tempor incididunt ut labore.</p>
+      <p>A <a href="https://example.com/link">link</a>, some
+      <strong>strong</strong> text, some <em>emphasis</em>, a bit of
+      <code>code</code>, and a <span class="highlight">span</span>.</p>
+      <blockquote>A blockquote with a quotation inside it.</blockquote>
+      <ul class="list">
+        <li>First item</li>
+        <li>Second item</li>
+        <li>Third item</li>
+      </ul>
+      <table id="data">
+        <tr><th>Header A</th><th>Header B</th></tr>
+        <tr><td>Cell 1</td><td>Cell 2</td></tr>
+        <tr><td>Cell 3</td><td>Cell 4</td></tr>
+      </table>
+    </section>
+    <section id="embedded">
+      <h2>Embedded content</h2>
+      <img id="hero" src="/img/placeholder.png" alt="placeholder">
+      <video id="clip" src="/media/clip.mp4" controls></video>
+      <iframe id="frame" src="/embedded/frame.html"></iframe>
+    </section>
+    <section id="forms">
+      <h2>Forms</h2>
+      <form id="checkout" action="/submit" method="post">
+        <input type="text" id="name" name="name" placeholder="Full name">
+        <input type="email" id="email" name="email" placeholder="Email">
+        <input type="tel" id="phone" name="phone" placeholder="Phone">
+        <input type="text" id="address" name="address" placeholder="Address">
+        <input type="text" id="card" name="card" placeholder="Card number">
+        <button type="submit" id="submit">Submit</button>
+      </form>
+    </section>
+  </main>
+  <footer id="footer">
+    <p>Footer content with a <a href="/about">final link</a>.</p>
+  </footer>
+  <script src="/js/trace.js"></script>
+</body>
+</html>
+"""
+
+TEST_PAGE_URL = "https://measurement.example.org/html5-test/"
+
+
+def build_test_document(url=TEST_PAGE_URL):
+    """Parse the controlled page into a fresh Document."""
+    return parse_html(HTML5_TEST_PAGE, url=url)

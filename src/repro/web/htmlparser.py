@@ -1,0 +1,150 @@
+"""A small HTML parser: text -> :class:`~repro.web.dom.Document`.
+
+Handles nested elements, attributes (quoted and bare), void elements,
+comments, doctype, and raw-text elements (``<script>``/``<style>``). Not a
+full HTML5 tree builder — decompiled test pages and our synthetic sites are
+well-formed — but mismatched close tags are recovered by popping to the
+nearest matching open element, and stray close tags are ignored.
+"""
+
+from repro.errors import HtmlError
+from repro.web.dom import Document, Element, TextNode
+
+VOID_ELEMENTS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+RAWTEXT_ELEMENTS = frozenset(("script", "style"))
+
+
+def parse_html(text, url="about:blank"):
+    """Parse HTML text into a Document."""
+    document = Document(url)
+    stack = [document]
+    index = 0
+    length = len(text)
+
+    while index < length:
+        if text.startswith("<!--", index):
+            end = text.find("-->", index + 4)
+            if end < 0:
+                raise HtmlError("unterminated comment")
+            index = end + 3
+            continue
+        if text.startswith("<!", index):
+            end = text.find(">", index)
+            if end < 0:
+                raise HtmlError("unterminated doctype/declaration")
+            index = end + 1
+            continue
+        if text.startswith("</", index):
+            end = text.find(">", index)
+            if end < 0:
+                raise HtmlError("unterminated close tag")
+            tag = text[index + 2: end].strip().lower()
+            for position in range(len(stack) - 1, 0, -1):
+                node = stack[position]
+                if isinstance(node, Element) and node.tag == tag:
+                    del stack[position:]
+                    break
+            index = end + 1
+            continue
+        if text.startswith("<", index):
+            end = _find_tag_end(text, index)
+            tag_text = text[index + 1: end].strip()
+            self_closing = tag_text.endswith("/")
+            if self_closing:
+                tag_text = tag_text[:-1].strip()
+            tag, attrs = _parse_tag(tag_text)
+            element = Element(tag, attrs)
+            stack[-1].append_child(element)
+            index = end + 1
+            if self_closing or tag in VOID_ELEMENTS:
+                continue
+            if tag in RAWTEXT_ELEMENTS:
+                close = "</%s>" % tag
+                stop = text.lower().find(close, index)
+                if stop < 0:
+                    raise HtmlError("unterminated <%s>" % tag)
+                raw = text[index:stop]
+                if raw:
+                    element.append_child(TextNode(raw))
+                index = stop + len(close)
+                continue
+            stack.append(element)
+            continue
+        stop = text.find("<", index)
+        if stop < 0:
+            stop = length
+        raw = text[index:stop]
+        if raw.strip():
+            stack[-1].append_child(TextNode(raw))
+        index = stop
+
+    document.readyState = "complete"
+    return document
+
+
+def _find_tag_end(text, start):
+    index = start + 1
+    in_quote = None
+    while index < len(text):
+        char = text[index]
+        if in_quote:
+            if char == in_quote:
+                in_quote = None
+        elif char in "\"'":
+            in_quote = char
+        elif char == ">":
+            return index
+        index += 1
+    raise HtmlError("unterminated tag at offset %d" % start)
+
+
+def _parse_tag(tag_text):
+    parts = tag_text.split(None, 1)
+    if not parts:
+        raise HtmlError("empty tag")
+    tag = parts[0].lower()
+    attrs = {}
+    if len(parts) > 1:
+        attrs = _parse_attrs(parts[1])
+    return tag, attrs
+
+
+def _parse_attrs(text):
+    attrs = {}
+    index = 0
+    length = len(text)
+    while index < length:
+        while index < length and text[index] in " \t\r\n":
+            index += 1
+        if index >= length:
+            break
+        start = index
+        while index < length and text[index] not in " \t\r\n=":
+            index += 1
+        name = text[start:index].lower()
+        if not name:
+            break
+        while index < length and text[index] in " \t\r\n":
+            index += 1
+        if index < length and text[index] == "=":
+            index += 1
+            while index < length and text[index] in " \t\r\n":
+                index += 1
+            if index < length and text[index] in "\"'":
+                quote = text[index]
+                index += 1
+                end = text.find(quote, index)
+                if end < 0:
+                    raise HtmlError("unterminated attribute value")
+                attrs[name] = text[index:end]
+                index = end + 1
+            else:
+                start = index
+                while index < length and text[index] not in " \t\r\n":
+                    index += 1
+                attrs[name] = text[start:index]
+        else:
+            attrs[name] = ""
+    return attrs

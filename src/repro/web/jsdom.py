@@ -1,0 +1,379 @@
+"""DOM <-> JS bridge with Web API interception.
+
+Wraps :mod:`repro.web.dom` nodes as :class:`~repro.web.jsengine.HostObject`
+handles. Every method call is reported to a
+:class:`~repro.web.webapi.WebApiRecorder` with the interface name the real
+DOM would attribute it to (``Document``, ``Element``, ``HTMLBodyElement``,
+``HTMLCollection``, ``NodeList``, ...) — the mechanism behind Table 9.
+"""
+
+from repro.web.dom import Document, Element, TextNode
+from repro.web.jsengine import (
+    HostObject,
+    JsArray,
+    JsObject,
+    NativeFunction,
+    UNDEFINED,
+    to_string,
+)
+
+
+class DomBridge:
+    """Shared state for one page's JS execution."""
+
+    def __init__(self, document, recorder, clock_ms=0.0):
+        self.document = document
+        self.recorder = recorder
+        self.clock_ms = clock_ms
+        self._handles = {}
+
+    def handle(self, node):
+        if node is None:
+            return None
+        key = id(node)
+        if key not in self._handles:
+            if isinstance(node, Document):
+                self._handles[key] = DocumentHandle(node, self)
+            elif isinstance(node, Element):
+                self._handles[key] = ElementHandle(node, self)
+            else:
+                self._handles[key] = TextHandle(node, self)
+        return self._handles[key]
+
+    def record(self, interface, method, args=()):
+        self.recorder.record(interface, method, args)
+
+    def globals_map(self):
+        """The host globals injected scripts see."""
+        document = self.handle(self.document)
+        window = WindowHandle(self)
+        return {
+            "document": document,
+            "window": window,
+            "location": window.js_get("location"),
+            "navigator": window.js_get("navigator"),
+            "performance": window.js_get("performance"),
+            "Date": _date_object(self),
+            "screen": JsObject({"width": 1080.0, "height": 2220.0}),
+        }
+
+
+def _date_object(bridge):
+    date = JsObject()
+    date.set("now", NativeFunction(
+        "Date.now", lambda args, this: 1_676_000_000_000.0 + bridge.clock_ms
+    ))
+    return date
+
+
+class NodeListHandle(HostObject):
+    """A NodeList or HTMLCollection view over elements."""
+
+    def __init__(self, nodes, bridge, interface):
+        self.nodes = list(nodes)
+        self.bridge = bridge
+        self.interface = interface  # "NodeList" or "HTMLCollection"
+
+    def js_get(self, name):
+        if name == "length":
+            return float(len(self.nodes))
+        if name == "item":
+            def item(args, this):
+                self.bridge.record(self.interface, "item", args)
+                position = int(args[0]) if args else 0
+                if 0 <= position < len(self.nodes):
+                    return self.bridge.handle(self.nodes[position])
+                return None
+            return NativeFunction("item", item)
+        if name.isdigit():
+            position = int(name)
+            if 0 <= position < len(self.nodes):
+                return self.bridge.handle(self.nodes[position])
+            return UNDEFINED
+        return UNDEFINED
+
+    def js_set(self, name, value):
+        raise TypeError("NodeList is read-only")
+
+
+class _NodeCommon(HostObject):
+    """Members shared by document and element handles."""
+
+    node = None
+    bridge = None
+
+    @property
+    def interface(self):
+        raise NotImplementedError
+
+    def _common_get(self, name):
+        node = self.node
+        bridge = self.bridge
+        interface = self.interface
+
+        if name == "parentNode":
+            return bridge.handle(node.parent)
+        if name == "childNodes":
+            return NodeListHandle(node.children, bridge, "NodeList")
+        if name == "children":
+            elements = [c for c in node.children if isinstance(c, Element)]
+            return NodeListHandle(elements, bridge, "HTMLCollection")
+        if name == "firstChild":
+            return bridge.handle(node.children[0]) if node.children else None
+        if name == "textContent":
+            return node.text_content()
+
+        if name == "getElementsByTagName":
+            def get_by_tag(args, this):
+                bridge.record(interface, "getElementsByTagName", args)
+                tag = to_string(args[0]) if args else "*"
+                return NodeListHandle(
+                    node.get_elements_by_tag_name(tag), bridge,
+                    "HTMLCollection",
+                )
+            return NativeFunction("getElementsByTagName", get_by_tag)
+        if name == "querySelectorAll":
+            def query_all(args, this):
+                bridge.record(interface, "querySelectorAll", args)
+                selector = to_string(args[0]) if args else "*"
+                return NodeListHandle(
+                    node.query_selector_all(selector), bridge, "NodeList"
+                )
+            return NativeFunction("querySelectorAll", query_all)
+        if name == "querySelector":
+            def query_one(args, this):
+                bridge.record(interface, "querySelector", args)
+                selector = to_string(args[0]) if args else "*"
+                return bridge.handle(node.query_selector(selector))
+            return NativeFunction("querySelector", query_one)
+        if name == "appendChild":
+            def append_child(args, this):
+                bridge.record(interface, "appendChild", args)
+                child = args[0]
+                node.append_child(child.node)
+                return child
+            return NativeFunction("appendChild", append_child)
+        if name == "insertBefore":
+            def insert_before(args, this):
+                bridge.record(interface, "insertBefore", args)
+                new_handle = args[0]
+                reference = args[1] if len(args) > 1 else None
+                reference_node = reference.node if isinstance(
+                    reference, _NodeCommon) else None
+                node.insert_before(new_handle.node, reference_node)
+                return new_handle
+            return NativeFunction("insertBefore", insert_before)
+        if name == "removeChild":
+            def remove_child(args, this):
+                bridge.record(interface, "removeChild", args)
+                child = args[0]
+                node.remove_child(child.node)
+                return child
+            return NativeFunction("removeChild", remove_child)
+        if name == "addEventListener":
+            def add_listener(args, this):
+                bridge.record(interface, "addEventListener", args)
+                if len(args) >= 2:
+                    node.add_event_listener(to_string(args[0]), args[1])
+                return UNDEFINED
+            return NativeFunction("addEventListener", add_listener)
+        if name == "removeEventListener":
+            def remove_listener(args, this):
+                bridge.record(interface, "removeEventListener", args)
+                if len(args) >= 2:
+                    node.remove_event_listener(to_string(args[0]), args[1])
+                return UNDEFINED
+            return NativeFunction("removeEventListener", remove_listener)
+        return None
+
+
+class ElementHandle(_NodeCommon):
+    def __init__(self, element, bridge):
+        self.node = element
+        self.bridge = bridge
+
+    @property
+    def interface(self):
+        return self.node.interface
+
+    def js_get(self, name):
+        node = self.node
+        if name == "tagName":
+            return node.tag_name
+        if name == "id":
+            return node.attrs.get("id", "")
+        if name in ("src", "href", "name", "content", "value", "type",
+                    "charset", "rel"):
+            return node.attrs.get(name, "")
+        if name == "className":
+            return node.attrs.get("class", "")
+        if name == "getAttribute":
+            def get_attribute(args, this):
+                self.bridge.record(self.interface, "getAttribute", args)
+                value = node.get_attribute(to_string(args[0]) if args else "")
+                return value if value is not None else None
+            return NativeFunction("getAttribute", get_attribute)
+        if name == "setAttribute":
+            def set_attribute(args, this):
+                self.bridge.record(self.interface, "setAttribute", args)
+                if len(args) >= 2:
+                    node.set_attribute(to_string(args[0]), to_string(args[1]))
+                return UNDEFINED
+            return NativeFunction("setAttribute", set_attribute)
+        if name == "hasAttribute":
+            def has_attribute(args, this):
+                self.bridge.record(self.interface, "hasAttribute", args)
+                return node.has_attribute(to_string(args[0]) if args else "")
+            return NativeFunction("hasAttribute", has_attribute)
+        common = self._common_get(name)
+        if common is not None:
+            return common
+        return UNDEFINED
+
+    def js_set(self, name, value):
+        if name in ("id", "src", "href", "name", "content", "value",
+                    "type", "charset", "rel"):
+            self.node.set_attribute(name, to_string(value))
+            return
+        if name == "className":
+            self.node.set_attribute("class", to_string(value))
+            return
+        if name == "textContent":
+            self.node.children = [TextNode(to_string(value))]
+            self.node.children[0].parent = self.node
+            return
+        # Expando properties land on attrs with a data- flavour.
+        self.node.attrs["data-js-" + name] = to_string(value)
+
+    def __repr__(self):
+        return "ElementHandle(%r)" % self.node
+
+
+class TextHandle(_NodeCommon):
+    def __init__(self, node, bridge):
+        self.node = node
+        self.bridge = bridge
+
+    @property
+    def interface(self):
+        return "Text"
+
+    def js_get(self, name):
+        if name == "data":
+            return self.node.data
+        common = self._common_get(name)
+        if common is not None:
+            return common
+        return UNDEFINED
+
+    def js_set(self, name, value):
+        if name == "data":
+            self.node.data = to_string(value)
+            return
+        raise TypeError("cannot set %r on Text" % name)
+
+
+class DocumentHandle(_NodeCommon):
+    def __init__(self, document, bridge):
+        self.node = document
+        self.bridge = bridge
+
+    @property
+    def interface(self):
+        return "Document"
+
+    def js_get(self, name):
+        document = self.node
+        bridge = self.bridge
+        if name == "body":
+            return bridge.handle(document.body)
+        if name == "head":
+            return bridge.handle(document.head)
+        if name == "documentElement":
+            return bridge.handle(document.document_element)
+        if name == "readyState":
+            return document.readyState
+        if name == "URL":
+            return document.url
+        if name == "getElementById":
+            def get_by_id(args, this):
+                bridge.record("Document", "getElementById", args)
+                element = document.get_element_by_id(
+                    to_string(args[0]) if args else "")
+                return bridge.handle(element)
+            return NativeFunction("getElementById", get_by_id)
+        if name == "createElement":
+            def create_element(args, this):
+                bridge.record("Document", "createElement", args)
+                return bridge.handle(
+                    document.create_element(to_string(args[0]) if args else "div")
+                )
+            return NativeFunction("createElement", create_element)
+        if name == "createTextNode":
+            def create_text(args, this):
+                bridge.record("Document", "createTextNode", args)
+                return bridge.handle(
+                    document.create_text_node(to_string(args[0]) if args else "")
+                )
+            return NativeFunction("createTextNode", create_text)
+        common = self._common_get(name)
+        if common is not None:
+            return common
+        return UNDEFINED
+
+    def js_set(self, name, value):
+        raise TypeError("cannot set %r on Document" % name)
+
+
+class WindowHandle(HostObject):
+    def __init__(self, bridge):
+        self.bridge = bridge
+        self._custom = {}
+        self._location = JsObject({
+            "href": bridge.document.url,
+            "hostname": _hostname(bridge.document.url),
+            "protocol": bridge.document.url.split(":", 1)[0] + ":",
+        })
+        self._navigator = JsObject({
+            "userAgent": (
+                "Mozilla/5.0 (Linux; Android 12; Pixel 3) AppleWebKit/537.36"
+                " (KHTML, like Gecko) Version/4.0 Chrome/109.0 Mobile"
+                " Safari/537.36"
+            ),
+            "language": "en-US",
+        })
+        self._performance = JsObject({
+            "now": NativeFunction(
+                "performance.now", lambda args, this: self.bridge.clock_ms
+            ),
+        })
+
+    def js_get(self, name):
+        if name == "document":
+            return self.bridge.handle(self.bridge.document)
+        if name == "location":
+            return self._location
+        if name == "navigator":
+            return self._navigator
+        if name == "performance":
+            return self._performance
+        if name == "innerWidth":
+            return 1080.0
+        if name == "innerHeight":
+            return 2220.0
+        if name == "window":
+            return self
+        if name in self._custom:
+            return self._custom[name]
+        return UNDEFINED
+
+    def js_set(self, name, value):
+        # Scripts may stash globals on window.
+        self._custom[name] = value
+
+
+def _hostname(url_text):
+    if "://" not in url_text:
+        return ""
+    rest = url_text.split("://", 1)[1]
+    return rest.split("/", 1)[0].split(":", 1)[0]

@@ -1,0 +1,119 @@
+"""Website-side WebView policies (Figure 5 / Section 5).
+
+Every request from a WebView carries an ``X-Requested-With`` header with
+the embedding app's package name, so websites can treat WebView sessions
+differently — from showing a consent prompt to blocking logins outright,
+as Facebook does ("Log in Disabled" when its site is opened in a
+WebView). This module implements that server-side decision logic, which
+the paper recommends as a proactive defence.
+"""
+
+import enum
+
+from repro.android.api import X_REQUESTED_WITH_HEADER
+
+#: Paths considered sensitive (login / checkout flows).
+SENSITIVE_PATH_MARKERS = ("login", "signin", "oauth", "auth", "checkout",
+                          "payment", "password")
+
+
+class WebViewPolicy(enum.Enum):
+    """What a site does with WebView-originated sessions."""
+
+    ALLOW = "allow"                  # no special handling (the default web)
+    WARN = "warn"                    # serve the page behind a consent prompt
+    BLOCK_SENSITIVE = "block_sensitive"  # Facebook: logins disabled
+    BLOCK_ALL = "block_all"          # refuse WebView traffic entirely
+
+
+class PolicyDecision:
+    """The outcome of applying a policy to one request."""
+
+    SERVED = "served"
+    PROMPTED = "prompted"
+    BLOCKED = "blocked"
+
+    def __init__(self, outcome, reason="", app_package=None):
+        self.outcome = outcome
+        self.reason = reason
+        #: The embedding app, when identifiable from X-Requested-With.
+        self.app_package = app_package
+
+    @property
+    def served(self):
+        return self.outcome == PolicyDecision.SERVED
+
+    def __repr__(self):
+        return "PolicyDecision(%s, %r)" % (self.outcome, self.reason)
+
+
+def is_sensitive_path(path):
+    lowered = path.lower()
+    return any(marker in lowered for marker in SENSITIVE_PATH_MARKERS)
+
+
+def apply_policy(request, policy):
+    """Decide how a site under ``policy`` handles ``request``.
+
+    CT/browser traffic carries no ``X-Requested-With`` header and is
+    always served — the structural reason the paper recommends CTs for
+    sensitive flows.
+    """
+    app_package = request.headers.get(X_REQUESTED_WITH_HEADER)
+    if app_package is None:
+        return PolicyDecision(PolicyDecision.SERVED,
+                              "browser/CT session")
+
+    if policy == WebViewPolicy.ALLOW:
+        return PolicyDecision(PolicyDecision.SERVED,
+                              "WebView allowed", app_package)
+    if policy == WebViewPolicy.WARN:
+        return PolicyDecision(
+            PolicyDecision.PROMPTED,
+            "user must acknowledge in-app browser risks",
+            app_package,
+        )
+    if policy == WebViewPolicy.BLOCK_SENSITIVE:
+        if is_sensitive_path(request.url.path):
+            return PolicyDecision(
+                PolicyDecision.BLOCKED,
+                "Log in Disabled: for your account security you must use "
+                "a supported browser (cf. Facebook, Figure 5)",
+                app_package,
+            )
+        return PolicyDecision(PolicyDecision.SERVED,
+                              "non-sensitive path", app_package)
+    if policy == WebViewPolicy.BLOCK_ALL:
+        return PolicyDecision(
+            PolicyDecision.BLOCKED,
+            "this site does not serve embedded WebViews",
+            app_package,
+        )
+    raise ValueError("unknown policy: %r" % (policy,))
+
+
+class PolicyRegistry:
+    """Per-registrable-domain policy lookup for the simulated web."""
+
+    def __init__(self, default=WebViewPolicy.ALLOW):
+        self.default = default
+        self._by_domain = {}
+
+    def set_policy(self, domain, policy):
+        self._by_domain[domain.lower()] = policy
+
+    def policy_for(self, url):
+        return self._by_domain.get(url.registrable_domain, self.default)
+
+    def decide(self, request):
+        return apply_policy(request, self.policy_for(request.url))
+
+
+def default_web_policies():
+    """The real-world 2023 policy landscape the paper describes."""
+    registry = PolicyRegistry()
+    # Facebook deprecated WebView logins in 2021 (Figure 5).
+    registry.set_policy("facebook.com", WebViewPolicy.BLOCK_SENSITIVE)
+    # NAVER deprecated WebViews for OAuth (4.1.6).
+    registry.set_policy("naver.com", WebViewPolicy.BLOCK_SENSITIVE)
+    return registry

@@ -1,0 +1,145 @@
+"""Top-site models — the CrUX top-1K stand-in (Section 3.2.2).
+
+The paper crawls the landing pages of 100 randomly selected top sites from
+Chrome's February 2023 CrUX snapshot. Each :class:`SiteProfile` here
+describes one synthetic top site: its category (Sitereview-style), its
+content richness (how much there is for injected code to interact with),
+and the first-/third-party resources its landing page loads.
+"""
+
+import enum
+
+from repro.util import derive_seed, make_rng
+from repro.web.urls import Url
+
+
+class SiteCategory(enum.Enum):
+    SEARCH = "Search"
+    TECHNOLOGY = "Technology"
+    NEWS = "News"
+    ENTERTAINMENT = "Entertainment"
+    SHOPPING = "Shopping"
+    SOCIAL = "Social"
+    REFERENCE = "Reference"
+    FINANCE = "Finance"
+    SPORTS = "Sports"
+    TRAVEL = "Travel"
+
+    def __str__(self):
+        return self.value
+
+
+#: Content richness per category: scales subresource counts and how many
+#: extra endpoints content-reactive IAB injections contact (Figure 6:
+#: News/Entertainment/Shopping rich; Search/Technology lean).
+CATEGORY_RICHNESS = {
+    SiteCategory.SEARCH: 0.25,
+    SiteCategory.TECHNOLOGY: 0.45,
+    SiteCategory.NEWS: 1.00,
+    SiteCategory.ENTERTAINMENT: 0.95,
+    SiteCategory.SHOPPING: 0.90,
+    SiteCategory.SOCIAL: 0.80,
+    SiteCategory.REFERENCE: 0.40,
+    SiteCategory.FINANCE: 0.60,
+    SiteCategory.SPORTS: 0.85,
+    SiteCategory.TRAVEL: 0.70,
+}
+
+_CATEGORY_WEIGHTS = {
+    SiteCategory.SEARCH: 6,
+    SiteCategory.TECHNOLOGY: 12,
+    SiteCategory.NEWS: 18,
+    SiteCategory.ENTERTAINMENT: 16,
+    SiteCategory.SHOPPING: 14,
+    SiteCategory.SOCIAL: 8,
+    SiteCategory.REFERENCE: 8,
+    SiteCategory.FINANCE: 6,
+    SiteCategory.SPORTS: 7,
+    SiteCategory.TRAVEL: 5,
+}
+
+_NAME_STEMS = (
+    "daily", "global", "meta", "hyper", "prime", "urban", "bright", "nova",
+    "pulse", "vertex", "lumen", "quick", "astro", "terra", "ember", "zen",
+    "cobalt", "velvet", "solar", "rapid",
+)
+_NAME_TAILS = (
+    "press", "hub", "mart", "play", "wiki", "pay", "sport", "trips",
+    "search", "tech", "media", "store", "line", "base", "cast", "board",
+)
+
+_THIRD_PARTY_POOLS = {
+    "ads": ("pagead2.googlesyndication.com", "securepubads.doubleclick.net",
+            "ib.adnxs.com", "static.criteo.net"),
+    "analytics": ("www.google-analytics.com", "www.googletagmanager.com",
+                  "api.mixpanel.com"),
+    "cdn": ("d1xyz.cloudfront.net", "cdn.fastly.net",
+            "static.akamaihd.net", "cdnjs.cloudflare.com"),
+    "social": ("connect.facebook.net", "platform.twitter.com"),
+}
+
+
+class SiteProfile:
+    """One synthetic top site's landing page."""
+
+    def __init__(self, rank, host, category, richness, subresource_count,
+                 third_party_hosts, base_load_ms):
+        self.rank = rank
+        self.host = host
+        self.category = category
+        self.richness = richness
+        self.subresource_count = subresource_count
+        self.third_party_hosts = tuple(third_party_hosts)
+        #: Baseline main-document latency in milliseconds.
+        self.base_load_ms = base_load_ms
+
+    @property
+    def url(self):
+        return Url("https", self.host)
+
+    @property
+    def landing_url(self):
+        return str(self.url)
+
+    def first_party_resources(self):
+        """Paths of same-site subresources the landing page loads."""
+        kinds = ("css/site.css", "js/app.js", "img/hero.jpg", "img/logo.svg",
+                 "js/vendor.js", "fonts/main.woff2", "img/banner.jpg",
+                 "js/lazy.js", "css/theme.css", "img/teaser-%d.jpg")
+        paths = []
+        for i in range(self.subresource_count):
+            kind = kinds[i % len(kinds)]
+            paths.append("/" + (kind % i if "%d" in kind else kind))
+        return paths
+
+    def __repr__(self):
+        return "SiteProfile(#%d %s, %s)" % (self.rank, self.host,
+                                            self.category)
+
+
+def _make_site(rank, seed):
+    rng = make_rng(derive_seed(seed, "site", rank))
+    from repro.util import weighted_choice
+
+    category = weighted_choice(rng, _CATEGORY_WEIGHTS)
+    richness = CATEGORY_RICHNESS[category]
+    host = "www.%s%s%d.com" % (
+        rng.choice(_NAME_STEMS), rng.choice(_NAME_TAILS), rank
+    )
+    subresources = max(3, int(rng.gauss(22 * richness + 4, 4)))
+    third_parties = []
+    pools = ["cdn", "analytics"]
+    if richness >= 0.6:
+        pools += ["ads", "ads", "social"]
+    for pool in pools:
+        candidates = _THIRD_PARTY_POOLS[pool]
+        if rng.random() < min(1.0, 0.35 + richness):
+            third_parties.append(rng.choice(candidates))
+    base_load_ms = rng.uniform(180, 420) * (0.8 + 0.6 * richness)
+    return SiteProfile(rank, host, category, richness, subresources,
+                       sorted(set(third_parties)), base_load_ms)
+
+
+def top_sites(count=100, seed=202302):
+    """Generate the top-``count`` site profiles (CrUX Feb 2023 stand-in)."""
+    return [_make_site(rank, seed) for rank in range(1, count + 1)]

@@ -1,0 +1,138 @@
+"""URL parsing and normalization, implemented from scratch.
+
+Covers what the pipelines need: scheme/host/port/path/query/fragment
+splitting, default ports, registrable-domain extraction (with a small
+multi-label public-suffix list), and origin comparison.
+"""
+
+from repro.errors import NetworkError
+
+DEFAULT_PORTS = {"http": 80, "https": 443, "ws": 80, "wss": 443}
+
+#: Multi-label public suffixes we recognize (enough for realistic hosts).
+_MULTI_LABEL_SUFFIXES = frozenset(
+    {
+        "co.uk", "org.uk", "ac.uk", "com.au", "com.br", "co.jp", "co.kr",
+        "com.cn", "co.in", "com.mx", "com.tr", "com.ar",
+    }
+)
+
+
+class Url:
+    """A parsed absolute URL."""
+
+    __slots__ = ("scheme", "host", "port", "path", "query", "fragment")
+
+    def __init__(self, scheme, host, port=None, path="/", query="",
+                 fragment=""):
+        self.scheme = scheme.lower()
+        self.host = host.lower()
+        self.port = port if port is not None else DEFAULT_PORTS.get(self.scheme)
+        self.path = path or "/"
+        self.query = query
+        self.fragment = fragment
+
+    @property
+    def origin(self):
+        return "%s://%s:%s" % (self.scheme, self.host, self.port)
+
+    @property
+    def is_secure(self):
+        return self.scheme in ("https", "wss")
+
+    @property
+    def registrable_domain(self):
+        """eTLD+1: the privacy-relevant owner domain of the host."""
+        labels = self.host.split(".")
+        if len(labels) <= 2:
+            return self.host
+        last_two = ".".join(labels[-2:])
+        if last_two in _MULTI_LABEL_SUFFIXES:
+            return ".".join(labels[-3:])
+        return last_two
+
+    def same_site(self, other):
+        """True when both URLs share a registrable domain (same-site)."""
+        return self.registrable_domain == other.registrable_domain
+
+    def same_origin(self, other):
+        return self.origin == other.origin
+
+    def with_path(self, path, query=""):
+        return Url(self.scheme, self.host, self.port, path, query)
+
+    @property
+    def query_params(self):
+        params = {}
+        if not self.query:
+            return params
+        for pair in self.query.split("&"):
+            if not pair:
+                continue
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+            else:
+                key, value = pair, ""
+            params[key] = value
+        return params
+
+    def __str__(self):
+        netloc = self.host
+        if self.port not in (None, DEFAULT_PORTS.get(self.scheme)):
+            netloc += ":%d" % self.port
+        text = "%s://%s%s" % (self.scheme, netloc, self.path)
+        if self.query:
+            text += "?" + self.query
+        if self.fragment:
+            text += "#" + self.fragment
+        return text
+
+    def __eq__(self, other):
+        return isinstance(other, Url) and str(self) == str(other)
+
+    def __hash__(self):
+        return hash(str(self))
+
+    def __repr__(self):
+        return "Url(%s)" % self
+
+
+def parse_url(text):
+    """Parse an absolute URL string into a :class:`Url`.
+
+    Raises :class:`~repro.errors.NetworkError` for relative or malformed
+    URLs (the network substrate never guesses).
+    """
+    if "://" not in text:
+        raise NetworkError("not an absolute URL: %r" % text)
+    scheme, rest = text.split("://", 1)
+    if not scheme or not scheme.replace("+", "").replace("-", "").isalnum():
+        raise NetworkError("bad scheme in %r" % text)
+
+    fragment = ""
+    if "#" in rest:
+        rest, fragment = rest.split("#", 1)
+    query = ""
+    if "?" in rest:
+        rest, query = rest.split("?", 1)
+    if "/" in rest:
+        netloc, path = rest.split("/", 1)
+        path = "/" + path
+    else:
+        netloc, path = rest, "/"
+    if not netloc:
+        raise NetworkError("missing host in %r" % text)
+
+    port = None
+    host = netloc
+    if ":" in netloc:
+        host, port_text = netloc.rsplit(":", 1)
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise NetworkError("bad port in %r" % text)
+        if not 0 < port < 65536:
+            raise NetworkError("port out of range in %r" % text)
+    if not host:
+        raise NetworkError("missing host in %r" % text)
+    return Url(scheme, host, port, path, query, fragment)

@@ -1,0 +1,120 @@
+"""End-to-end demonstration of the autofill risk (Section 4.2.1).
+
+The paper inferred that Facebook/Instagram's injected autofill SDK
+"populate[s] merchant checkouts with user information such as name,
+address, and phone number from the user's Facebook profile" — i.e. an
+app-held JS bridge can write personal data into third-party pages. This
+test *executes* that capability against the controlled page's checkout
+form, making the paper's risk assessment concrete.
+"""
+
+import json
+
+from repro.dynamic.device import Device
+from repro.dynamic.webview_runtime import JsBridge, WebViewRuntime
+from repro.netstack.network import Network
+from repro.web.html5_testpage import HTML5_TEST_PAGE, TEST_PAGE_URL
+
+#: What the in-app "iab.autofill.enhanced.js" SDK would do once loaded:
+#: pull profile data over the bridge and fill the merchant's form.
+AUTOFILL_SDK_JS = """
+(function(){
+  var raw = _AutofillExtensions.getAutofillData();
+  var profile = JSON.parse(raw);
+  var fields = ['name', 'email', 'phone', 'address'];
+  for (var i = 0; i < fields.length; i++) {
+    var field = fields[i];
+    var input = document.getElementById(field);
+    if (input !== null && profile[field]) {
+      input.value = profile[field];
+    }
+  }
+}());
+"""
+
+USER_PROFILE = {
+    "name": "Alex Example",
+    "email": "alex@example.com",
+    "phone": "+1-555-0100",
+    "address": "1 Measurement Way",
+}
+
+
+def make_runtime():
+    network = Network(seed=0, strict=False)
+    network.register_host("measurement.example.org",
+                          lambda path: HTML5_TEST_PAGE.encode("utf-8"))
+    device = Device(network=network)
+    runtime = WebViewRuntime("com.facebook.katana", device)
+    bridge = JsBridge("_AutofillExtensions", {
+        "getAutofillData": lambda *args: json.dumps(USER_PROFILE),
+    })
+    runtime.addJavascriptInterface(bridge, "_AutofillExtensions")
+    runtime.loadUrl(TEST_PAGE_URL)
+    return runtime, bridge
+
+
+class TestAutofillFlow:
+    def test_json_parse_available(self):
+        runtime, _ = make_runtime()
+        value = runtime.evaluateJavascript(
+            "JSON.parse('{\"a\": 1}').a"
+        )
+        assert value == 1.0
+
+    def test_bridge_hands_profile_data_to_page_js(self):
+        runtime, bridge = make_runtime()
+        raw = runtime.evaluateJavascript(
+            "_AutofillExtensions.getAutofillData()"
+        )
+        assert json.loads(raw) == USER_PROFILE
+        assert bridge.invocations[0][0] == "getAutofillData"
+
+    def test_checkout_form_gets_filled(self):
+        """Personal data flows from app -> bridge -> third-party DOM."""
+        runtime, _ = make_runtime()
+        runtime.evaluateJavascript(AUTOFILL_SDK_JS)
+        document = runtime.document
+        assert document.get_element_by_id("name").get_attribute("value") == (
+            "Alex Example"
+        )
+        assert document.get_element_by_id("email").get_attribute(
+            "value") == "alex@example.com"
+        assert document.get_element_by_id("phone").get_attribute(
+            "value") == "+1-555-0100"
+
+    def test_card_field_left_alone(self):
+        """The SDK fills contact fields, not the card number — but the
+        page could read everything the bridge returns."""
+        runtime, _ = make_runtime()
+        runtime.evaluateJavascript(AUTOFILL_SDK_JS)
+        card = runtime.document.get_element_by_id("card")
+        assert not card.get_attribute("value")
+
+    def test_malicious_page_can_exfiltrate_profile(self):
+        """The attack the paper warns about: ANY page shown in this IAB
+        can call the bridge — the data is not scoped to merchants."""
+        runtime, bridge = make_runtime()
+        stolen = runtime.evaluateJavascript("""
+            (function(){
+              // hostile page script, not Facebook's SDK
+              return _AutofillExtensions.getAutofillData();
+            }())
+        """)
+        assert json.loads(stolen)["phone"] == USER_PROFILE["phone"]
+        assert len(bridge.invocations) == 1
+
+    def test_ct_equivalent_has_no_such_channel(self):
+        from repro.dynamic.customtab_runtime import (
+            BrowserSession,
+            CustomTabRuntime,
+        )
+        from repro.errors import DeviceError
+        import pytest
+
+        device = Device(network=Network(seed=0, strict=False))
+        tab = CustomTabRuntime("com.facebook.katana", device,
+                               BrowserSession())
+        with pytest.raises(DeviceError):
+            tab.addJavascriptInterface(JsBridge("_AutofillExtensions"),
+                                       "_AutofillExtensions")

@@ -1,0 +1,121 @@
+"""Statistical calibration checks: the measured ecosystem tracks the
+paper's published marginals at scale (beyond point assertions)."""
+
+import math
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.sdk.catalog import PAPER_TOTAL_APPS
+from repro.static_analysis import StaticAnalysisPipeline
+from repro.static_analysis.report import Aggregator
+
+
+@pytest.fixture(scope="module")
+def big_run():
+    corpus = generate_corpus(CorpusConfig(universe_size=40_000,
+                                          seed=424242))
+    result = StaticAnalysisPipeline(corpus).run()
+    return result, Aggregator(result)
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation (no scipy dependency needed)."""
+    def ranks(values):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        rank = [0.0] * len(values)
+        for position, index in enumerate(order):
+            rank[index] = float(position)
+        return rank
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    mean = (n - 1) / 2.0
+    cov = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    var = sum((a - mean) ** 2 for a in rx)
+    return cov / var if var else 0.0
+
+
+class TestSdkAdoptionCalibration:
+    def test_named_sdk_ranks_correlate_with_paper(self, big_run):
+        """Per-SDK adoption ranks track the paper's Table 4 counts."""
+        result, aggregator = big_run
+        targets = []
+        measured = []
+        for name, apps in aggregator.sdk_webview_apps.items():
+            profile = aggregator.sdk_profile(name)
+            # Big named SDKs: expected measured counts >~ 6, where Poisson
+            # noise can't scramble ranks.
+            if profile.webview_apps >= 1000:
+                targets.append(profile.webview_apps)
+                measured.append(apps)
+        assert len(targets) >= 8
+        rho = spearman(targets, measured)
+        assert rho > 0.75, "rank correlation too weak: %.2f" % rho
+
+    def test_adoption_shares_proportional(self, big_run):
+        """Measured share / paper share stays within 2x for big SDKs."""
+        result, aggregator = big_run
+        analyzed = result.analyzed
+        for name in ("AppLovin", "ironSource", "ByteDance",
+                     "Open Measurement", "Facebook"):
+            profile = aggregator.sdk_profile(name)
+            if profile.uses_webview:
+                measured = aggregator.sdk_webview_apps.get(name, 0) / analyzed
+                paper = profile.webview_apps / PAPER_TOTAL_APPS
+            else:
+                measured = aggregator.sdk_ct_apps.get(name, 0) / analyzed
+                paper = profile.ct_apps / PAPER_TOTAL_APPS
+            assert paper / 2.2 < measured < paper * 2.2, (
+                "%s: paper %.4f measured %.4f" % (name, paper, measured)
+            )
+
+    def test_usage_shares_tight_at_scale(self, big_run):
+        result, aggregator = big_run
+        analyzed = result.analyzed
+        webview_share = aggregator.webview_apps / analyzed
+        ct_share = aggregator.ct_apps / analyzed
+        both_share = aggregator.both_apps / analyzed
+        # Binomial 3-sigma at ~900 apps is about +/-5pp.
+        assert abs(webview_share - 0.557) < 0.06
+        assert abs(ct_share - 0.199) < 0.06
+        assert abs(both_share - 0.150) < 0.05
+
+    def test_method_ranking_matches_paper_order(self, big_run):
+        _, aggregator = big_run
+        counts = aggregator.method_apps
+        # Paper order: loadUrl > addJsI > loadDataWithBaseURL >
+        # evaluateJavascript > removeJsI > loadData > postUrl.
+        assert counts["loadUrl"] > counts["addJavascriptInterface"]
+        assert counts["addJavascriptInterface"] > counts[
+            "evaluateJavascript"]
+        assert counts["evaluateJavascript"] > counts[
+            "removeJavascriptInterface"]
+        assert counts["removeJavascriptInterface"] > counts["postUrl"]
+
+    def test_seed_sensitivity_of_shares(self):
+        """Different seeds give statistically consistent ecosystems."""
+        shares = []
+        for seed in (11, 22):
+            corpus = generate_corpus(
+                CorpusConfig(universe_size=15_000, seed=seed)
+            )
+            result = StaticAnalysisPipeline(corpus).run()
+            aggregator = Aggregator(result)
+            shares.append(aggregator.webview_apps / result.analyzed)
+        assert abs(shares[0] - shares[1]) < 0.12
+
+    def test_funnel_binomial_consistency(self, big_run):
+        """Each funnel stage is within 4 sigma of its target ratio."""
+        result, _ = big_run
+        funnel = result.funnel_dict()
+        stages = (
+            ("found_on_play", "androzoo_play_apps", 0.37720),
+            ("with_100k_downloads", "found_on_play", 0.08080),
+            ("updated_after_2021", "with_100k_downloads", 0.74020),
+        )
+        for stage, base, target in stages:
+            n = funnel[base]
+            observed = funnel[stage] / n
+            sigma = math.sqrt(target * (1 - target) / n)
+            assert abs(observed - target) < 4 * sigma + 1e-9, stage

@@ -1,0 +1,78 @@
+"""Tests for the public API facade (repro.core)."""
+
+import pytest
+
+from repro.core import DynamicStudy, StaticStudy
+
+
+@pytest.fixture(scope="module")
+def static_study():
+    study = StaticStudy(universe_size=8000, seed=20230113)
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="module")
+def dynamic_study():
+    return DynamicStudy(seed=20230113, site_count=30)
+
+
+class TestStaticStudy:
+    def test_usage_shares(self, static_study):
+        webview, ct, both = static_study.usage_shares()
+        assert 45 < webview < 65
+        assert 12 < ct < 28
+        assert both <= min(webview, ct)
+
+    def test_all_tables_render(self, static_study):
+        for table in (static_study.table2(), static_study.table3(),
+                      static_study.table4(), static_study.table5(),
+                      static_study.table7()):
+            assert table.render()
+
+    def test_figures_render(self, static_study):
+        wv_series, ct_series = static_study.figure3()
+        assert wv_series.render()
+        assert static_study.figure4().render()
+
+    def test_run_memoizes(self, static_study):
+        assert static_study.result is not None
+        aggregator = static_study.aggregator
+        assert static_study.aggregator is aggregator
+
+    def test_accepts_prebuilt_corpus(self):
+        from repro.corpus import CorpusConfig, generate_corpus
+
+        corpus = generate_corpus(CorpusConfig(universe_size=2000, seed=5))
+        study = StaticStudy(corpus=corpus)
+        study.run()
+        assert study.result.analyzed > 0
+
+
+class TestDynamicStudy:
+    def test_table6(self, dynamic_study):
+        table = dynamic_study.table6()
+        records = {r["Classification of apps"]: r["#apps"]
+                   for r in table.as_records()}
+        assert records["Users can post links."] == 38
+        assert records["Link opens in a WebView."] == 10
+
+    def test_table8(self, dynamic_study):
+        table = dynamic_study.table8()
+        text = table.render()
+        assert "Facebook" in text
+        assert "8.4B" in text
+        assert "Cedexis" in text
+
+    def test_table9(self, dynamic_study):
+        text = dynamic_study.table9().render()
+        assert "getElementById" in text
+        assert "HTMLMetaElement" in text
+
+    def test_figure6(self, dynamic_study):
+        means, types = dynamic_study.figure6("Kik")
+        assert means
+        assert max(means.values()) > 5
+
+    def test_measurements_memoized(self, dynamic_study):
+        assert dynamic_study.measure_iabs() is dynamic_study.measure_iabs()

@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example runs end-to-end at small scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name,args,expect", [
+    ("quickstart.py", ("3000",), "Headline adoption"),
+    ("sdk_migration_report.py", ("4000",), "SDK migration report"),
+    ("iab_privacy_audit.py", (), "IAB privacy audit"),
+    ("crawl_top_sites.py", ("10",), "Kik IAB"),
+    ("pageload_benchmark.py", ("4",), "WebView / Custom Tab ratio"),
+    ("privacy_nutrition_labels.py", ("4000",), "hygiene grades"),
+])
+def test_example_runs(name, args, expect):
+    completed = run_example(name, *args)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expect in completed.stdout
+
+
+def test_quickstart_reports_paper_comparison():
+    completed = run_example("quickstart.py", "3000")
+    assert "55.7%" in completed.stdout
+    assert "apps using WebViews" in completed.stdout

@@ -1,0 +1,343 @@
+"""Tests for the JS interpreter and the DOM bridge."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import JsRuntimeError, JsSyntaxError
+from repro.web.html5_testpage import build_test_document
+from repro.web.jsdom import DomBridge
+from repro.web.jsengine import (
+    JsInterpreter,
+    JsArray,
+    JsObject,
+    UNDEFINED,
+    json_stringify,
+    run_script,
+    to_string,
+)
+from repro.web.webapi import WebApiRecorder
+
+
+def evaluate(expression, globals_map=None):
+    interpreter = JsInterpreter(globals_map)
+    return interpreter.run("__result = (%s);" % expression), interpreter
+
+
+def result_of(source, globals_map=None):
+    interpreter = JsInterpreter(globals_map)
+    interpreter.run(source)
+    return interpreter.global_scope.lookup("__result")
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert evaluate("1 + 2 * 3")[0] == 7.0
+
+    def test_string_concat(self):
+        assert evaluate("'a' + 1 + 'b'")[0] == "a1b"
+
+    def test_comparison(self):
+        assert evaluate("3 > 2")[0] is True
+        assert evaluate("'a' < 'b'")[0] is True
+
+    def test_strict_equality(self):
+        assert evaluate("1 === 1")[0] is True
+        assert evaluate("'1' === '1'")[0] is True
+        assert evaluate("null === null")[0] is True
+
+    def test_logical_short_circuit(self):
+        assert evaluate("false && explode()")[0] is False
+        assert evaluate("true || explode()")[0] is True
+
+    def test_ternary(self):
+        assert evaluate("1 < 2 ? 'yes' : 'no'")[0] == "yes"
+
+    def test_bitwise(self):
+        assert evaluate("(1 << 4) | 3")[0] == 19.0
+        assert evaluate("255 & 15")[0] == 15.0
+        assert evaluate("5 ^ 1")[0] == 4.0
+        assert evaluate("-1 >>> 28")[0] == 15.0
+
+    def test_modulo(self):
+        assert evaluate("10 % 3")[0] == 1.0
+
+    def test_typeof(self):
+        assert evaluate("typeof 'x'")[0] == "string"
+        assert evaluate("typeof 1")[0] == "number"
+        assert evaluate("typeof undefined")[0] == "undefined"
+        assert evaluate("typeof missingVariable")[0] == "undefined"
+
+    def test_unary(self):
+        assert evaluate("!0")[0] is True
+        assert evaluate("-'5'")[0] == -5.0
+        assert evaluate("~0")[0] == -1.0
+
+    def test_division_by_zero(self):
+        assert evaluate("1 / 0")[0] == float("inf")
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_addition_property(self, a, b):
+        assert evaluate("%d + %d" % (a, b))[0] == float(a + b)
+
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(0, 31))
+    def test_shift_matches_int32_semantics(self, value, shift):
+        expected = (value << shift) & 0xFFFFFFFF
+        if expected >= 0x80000000:
+            expected -= 0x100000000
+        assert evaluate("%d << %d" % (value, shift))[0] == float(expected)
+
+
+class TestStatements:
+    def test_var_and_assignment(self):
+        assert result_of("var x = 1; x += 4; __result = x;") == 5.0
+
+    def test_if_else(self):
+        source = """
+        var x = 10;
+        if (x > 5) { __result = 'big'; } else { __result = 'small'; }
+        """
+        assert result_of(source) == "big"
+
+    def test_while_loop(self):
+        source = """
+        var total = 0; var i = 0;
+        while (i < 5) { total += i; i++; }
+        __result = total;
+        """
+        assert result_of(source) == 10.0
+
+    def test_for_loop(self):
+        source = """
+        var total = 0;
+        for (var i = 1; i <= 4; i++) { total += i; }
+        __result = total;
+        """
+        assert result_of(source) == 10.0
+
+    def test_for_in(self):
+        source = """
+        var obj = {a: 1, b: 2, c: 3};
+        var keys = [];
+        for (var k in obj) { keys.push(k); }
+        __result = keys.join(',');
+        """
+        assert result_of(source) == "a,b,c"
+
+    def test_break_continue(self):
+        source = """
+        var hits = 0;
+        for (var i = 0; i < 10; i++) {
+          if (i % 2 === 0) { continue; }
+          if (i > 6) { break; }
+          hits++;
+        }
+        __result = hits;
+        """
+        assert result_of(source) == 3.0
+
+    def test_functions_and_closures(self):
+        source = """
+        function makeCounter() {
+          var n = 0;
+          return function() { n++; return n; };
+        }
+        var counter = makeCounter();
+        counter(); counter();
+        __result = counter();
+        """
+        assert result_of(source) == 3.0
+
+    def test_iife_with_args(self):
+        source = "__result = (function(a, b){ return a * b; }(6, 7));"
+        assert result_of(source) == 42.0
+
+    def test_function_hoisting_in_body(self):
+        source = """
+        function outer() { return helper() + 1; function helper() { return 1; } }
+        __result = outer();
+        """
+        assert result_of(source) == 2.0
+
+    def test_try_catch(self):
+        source = """
+        var out = 'none';
+        try { throw 'boom'; } catch (e) { out = 'caught:' + e; }
+        __result = out;
+        """
+        assert result_of(source) == "caught:boom"
+
+    def test_uncaught_throw_surfaces(self):
+        with pytest.raises(JsRuntimeError):
+            run_script("throw 'unhandled';")
+
+    def test_syntax_error(self):
+        with pytest.raises(JsSyntaxError):
+            run_script("var = 1;")
+
+    def test_execution_budget(self):
+        with pytest.raises(JsRuntimeError):
+            run_script("while (true) { var x = 1; }")
+
+
+class TestObjectsArraysStrings:
+    def test_object_literal_and_index(self):
+        source = """
+        var o = {name: 'x', 'two': 2};
+        o['three'] = 3;
+        o.four = 4;
+        __result = o.name + o.two + o['three'] + o.four;
+        """
+        assert result_of(source) == "x234"
+
+    def test_array_operations(self):
+        source = """
+        var a = [3, 1, 2];
+        a.push(4);
+        __result = a.length + ':' + a.join('-') + ':' + a.indexOf(2);
+        """
+        assert result_of(source) == "4:3-1-2-4:2"
+
+    def test_string_methods(self):
+        source = """
+        var s = 'Hello World';
+        __result = s.toLowerCase() + '|' + s.charCodeAt(0) + '|' +
+                   s.indexOf('World') + '|' + s.substring(0, 5) + '|' +
+                   s.split(' ').length;
+        """
+        assert result_of(source) == "hello world|72|6|Hello|2"
+
+    def test_json_stringify(self):
+        source = "__result = JSON.stringify({a: 1, b: [1, 'x'], c: null});"
+        assert result_of(source) == '{"a":1,"b":[1,"x"],"c":null}'
+
+    def test_json_stringify_escapes(self):
+        assert json_stringify('he said "hi"\n') == '"he said \\"hi\\"\\n"'
+
+    def test_console_log(self):
+        interpreter = run_script("console.log('a', 1); console.warn('b');")
+        assert interpreter.console_log == [
+            ("log", "a 1"), ("warn", "b"),
+        ]
+
+    def test_math(self):
+        assert result_of("__result = Math.floor(3.9) + Math.max(1, 5);") == 8.0
+
+    def test_parse_int(self):
+        assert result_of("__result = parseInt('42px');") == 42.0
+        assert result_of("__result = parseInt('ff', 16);") == 255.0
+
+    def test_to_string(self):
+        assert to_string(UNDEFINED) == "undefined"
+        assert to_string(None) == "null"
+        assert to_string(3.0) == "3"
+        assert to_string(JsArray([1.0, "a"])) == "1,a"
+        assert to_string(JsObject()) == "[object Object]"
+
+    def test_member_of_undefined_raises(self):
+        with pytest.raises(JsRuntimeError):
+            run_script("var x; x.property;")
+
+    def test_array_map_filter(self):
+        source = """
+        var xs = [1, 2, 3, 4];
+        __result = xs.map(function(x){ return x * x; })
+                     .filter(function(x){ return x > 4; })
+                     .join(',');
+        """
+        assert result_of(source) == "9,16"
+
+    def test_array_some_every(self):
+        source = """
+        var xs = [2, 4, 6];
+        __result = '' + xs.every(function(x){ return x % 2 === 0; }) +
+                   xs.some(function(x){ return x > 5; }) +
+                   xs.some(function(x){ return x > 50; });
+        """
+        assert result_of(source) == "truetruefalse"
+
+    def test_array_sort_reverse(self):
+        source = """
+        var xs = ['pear', 'apple', 'mango'];
+        __result = xs.sort().join(',') + '|' + xs.reverse().join(',');
+        """
+        assert result_of(source) == "apple,mango,pear|pear,mango,apple"
+
+    def test_map_requires_callback(self):
+        with pytest.raises(JsRuntimeError):
+            run_script("[1].map();")
+
+    def test_new_object(self):
+        source = """
+        function Point(x, y) { this.x = x; this.y = y; }
+        var p = new Point(3, 4);
+        __result = p.x + p.y;
+        """
+        assert result_of(source) == 7.0
+
+
+class TestDomBridge:
+    def make(self):
+        document = build_test_document()
+        recorder = WebApiRecorder()
+        bridge = DomBridge(document, recorder)
+        return document, recorder, bridge
+
+    def test_get_element_by_id(self):
+        document, recorder, bridge = self.make()
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run("__result = document.getElementById('title').tagName;")
+        assert interpreter.global_scope.lookup("__result") == "H1"
+        assert ("Document", "getElementById") in recorder.pairs()
+
+    def test_create_and_insert(self):
+        document, recorder, bridge = self.make()
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run("""
+            var el = document.createElement('script');
+            el.src = '/injected.js';
+            var body = document.body;
+            body.insertBefore(el, body.firstChild);
+        """)
+        scripts = document.get_elements_by_tag_name("script")
+        assert any(s.get_attribute("src") == "/injected.js" for s in scripts)
+        assert ("HTMLBodyElement", "insertBefore") in recorder.pairs()
+
+    def test_queryselectorall_nodelist(self):
+        document, recorder, bridge = self.make()
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run("""
+            var metas = document.querySelectorAll('meta');
+            __result = metas.length + ':' + metas.item(0).getAttribute('charset');
+        """)
+        assert interpreter.global_scope.lookup("__result") == "3:utf-8"
+        assert ("NodeList", "item") in recorder.pairs()
+        assert ("HTMLMetaElement", "getAttribute") in recorder.pairs()
+
+    def test_collection_index_access(self):
+        document, recorder, bridge = self.make()
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run(
+            "__result = document.getElementsByTagName('section')[0].id;"
+        )
+        assert interpreter.global_scope.lookup("__result") == "text"
+
+    def test_window_and_performance(self):
+        document, recorder, bridge = self.make()
+        bridge.clock_ms = 1234.0
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run("__result = performance.now();")
+        assert interpreter.global_scope.lookup("__result") == 1234.0
+
+    def test_location(self):
+        document, recorder, bridge = self.make()
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run("__result = location.hostname;")
+        assert interpreter.global_scope.lookup("__result") == (
+            "measurement.example.org"
+        )
+
+    def test_textcontent_read(self):
+        document, recorder, bridge = self.make()
+        interpreter = JsInterpreter(bridge.globals_map())
+        interpreter.run("__result = document.body.textContent.length > 100;")
+        assert interpreter.global_scope.lookup("__result") is True

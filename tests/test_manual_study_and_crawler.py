@@ -1,0 +1,148 @@
+"""Tests for the manual top-1K study (Table 6) and the top-site crawler
+(Figure 6)."""
+
+import pytest
+
+from repro.dynamic.apps import real_app_profiles
+from repro.dynamic.crawler import AdbCrawler, SYSTEM_WEBVIEW_SHELL
+from repro.dynamic.manual_study import ManualStudy, StudyOutcome
+from repro.web.classify import EndpointCategory
+from repro.web.sites import SiteCategory, top_sites
+
+
+class TestManualStudy:
+    @pytest.fixture(scope="class")
+    def tally(self):
+        study = ManualStudy(seed=2)
+        return ManualStudy.tally(study.run())
+
+    def test_total_is_1000(self, tally):
+        total = (tally["Users can post links."]
+                 + tally["Users can not post links."]
+                 + tally["Browser Apps."]
+                 + tally["Could not classify app."])
+        assert total == 1000
+
+    def test_table6_exact_counts(self, tally):
+        assert tally["Users can post links."] == 38
+        assert tally["Link opens in browser."] == 27
+        assert tally["Link opens in a WebView."] == 10
+        assert tally["Link opens in CT."] == 1
+        assert tally["Users can not post links."] == 905
+        assert tally["Browser Apps."] == 9
+        assert tally["Could not classify app."] == 48
+        assert tally["Required a phone number."] == 24
+        assert tally["App incompatibility error."] == 22
+        assert tally["Required paid account."] == 2
+
+    def test_real_apps_provide_the_iabs(self):
+        study = ManualStudy(seed=2)
+        classifications = study.run()
+        webview_apps = {
+            c.app.name for c in classifications
+            if c.outcome == StudyOutcome.OPENS_WEBVIEW
+        }
+        assert "Facebook" in webview_apps
+        assert "Kik" in webview_apps
+        ct_apps = {
+            c.app.name for c in classifications
+            if c.outcome == StudyOutcome.OPENS_CT
+        }
+        assert ct_apps == {"Discord"}
+
+    def test_deterministic(self):
+        a = ManualStudy.tally(ManualStudy(seed=3).run())
+        b = ManualStudy.tally(ManualStudy(seed=3).run())
+        assert a == b
+
+    def test_downloads_floor_matches_paper(self):
+        """Every top-1K app has >= 86M downloads (Section 5)."""
+        for app in ManualStudy(seed=2).apps():
+            assert app.downloads >= 86_000_000
+
+
+class TestCrawler:
+    @pytest.fixture(scope="class")
+    def crawl(self):
+        profiles = {p.name: p for p in real_app_profiles()}
+        crawler = AdbCrawler(
+            [profiles["LinkedIn"], profiles["Kik"], profiles["Snapchat"]],
+            sites=top_sites(40), seed=7,
+        )
+        return crawler.crawl()
+
+    def test_visit_counts(self, crawl):
+        assert len(crawl.visits) == 3 * 40
+
+    def test_baseline_subtracted(self, crawl):
+        """Endpoints contacted by the shell don't count as app-specific."""
+        for visit in crawl.visits_for("Snapchat"):
+            assert crawl.app_specific_hosts(visit) == []
+
+    def test_linkedin_contacts_cedexis(self, crawl):
+        hosts = set()
+        for visit in crawl.visits_for("LinkedIn"):
+            hosts.update(crawl.app_specific_hosts(visit))
+        assert any("cedexis" in host for host in hosts)
+
+    def test_kik_contacts_ad_networks(self, crawl):
+        hosts = set()
+        for visit in crawl.visits_for("Kik"):
+            hosts.update(crawl.app_specific_hosts(visit))
+        assert "ads.mopub.com" in hosts
+        assert "supply.inmobicdn.net" in hosts
+
+    def test_figure6a_shape(self, crawl):
+        """LinkedIn: more endpoints on content-rich site types (Fig. 6a)."""
+        means, types = crawl.endpoint_summary("LinkedIn")
+        rich = [means[c] for c in (str(SiteCategory.NEWS),
+                                   str(SiteCategory.ENTERTAINMENT),
+                                   str(SiteCategory.SHOPPING))
+                if c in means]
+        lean = [means[c] for c in (str(SiteCategory.SEARCH),
+                                   str(SiteCategory.TECHNOLOGY))
+                if c in means]
+        assert rich and lean
+        assert min(rich) > max(lean) * 0.8
+        assert sum(rich) / len(rich) > sum(lean) / len(lean)
+
+    def test_figure6a_tracker_presence(self, crawl):
+        means, types = crawl.endpoint_summary("LinkedIn")
+        news = types.get(str(SiteCategory.NEWS), {})
+        assert str(EndpointCategory.TRACKER) in news
+
+    def test_figure6b_kik_15plus_on_rich(self, crawl):
+        """Kik: >15 ad endpoints on average for content-rich sites."""
+        means, types = crawl.endpoint_summary("Kik")
+        news_mean = means.get(str(SiteCategory.NEWS), 0)
+        assert news_mean >= 12
+
+    def test_adb_steps_scripted(self):
+        profiles = {p.name: p for p in real_app_profiles()}
+        crawler = AdbCrawler([profiles["Snapchat"]], sites=top_sites(2),
+                             seed=1, include_baseline=False)
+        crawler.crawl()
+        joined = "\n".join(crawler.adb_commands)
+        assert "am start" in joined
+        assert "input tap" in joined
+        assert "input swipe" in joined
+        assert "am force-stop" in joined
+        assert "logcat -c" in joined
+
+    def test_baseline_shell_has_no_injections(self):
+        assert SYSTEM_WEBVIEW_SHELL.injected_scripts == []
+        assert SYSTEM_WEBVIEW_SHELL.bridges == []
+
+    def test_crawl_deterministic(self):
+        profiles = {p.name: p for p in real_app_profiles()}
+        sites = top_sites(5)
+
+        def run():
+            crawler = AdbCrawler([profiles["Kik"]], sites=sites, seed=9)
+            result = crawler.crawl()
+            return [
+                sorted(result.app_specific_hosts(v))
+                for v in result.visits_for("Kik")
+            ]
+
+        assert run() == run()

@@ -1,0 +1,106 @@
+"""Tests for the remote GUI debugging inspector (Section 4.2.1)."""
+
+import pytest
+
+from repro.dynamic.device import Device
+from repro.dynamic.remote_debug import RemoteDebugger
+from repro.dynamic.webview_runtime import JsBridge, WebViewRuntime
+from repro.errors import DeviceError
+from repro.netstack.network import Network
+from repro.web.html5_testpage import HTML5_TEST_PAGE, TEST_PAGE_URL
+
+
+def make_runtime(html=None, url=TEST_PAGE_URL):
+    network = Network(seed=0, strict=False)
+    page = (html or HTML5_TEST_PAGE).encode("utf-8")
+    network.register_host("measurement.example.org", lambda path: page)
+    device = Device(network=network)
+    runtime = WebViewRuntime("com.inspected.app", device)
+    runtime.loadUrl(url)
+    return runtime
+
+
+class TestRemoteDebugger:
+    def test_requires_loaded_page(self):
+        network = Network(seed=0, strict=False)
+        runtime = WebViewRuntime("com.x", Device(network=network))
+        with pytest.raises(DeviceError):
+            RemoteDebugger(runtime)
+
+    def test_dom_outline_renders_tree(self):
+        debugger = RemoteDebugger(make_runtime())
+        outline = debugger.dom_outline()
+        assert "<html" in outline
+        assert '<h1 id="title">' in outline
+        assert "HTML5 Test Page" in outline
+
+    def test_dom_outline_depth_limited(self):
+        debugger = RemoteDebugger(make_runtime())
+        shallow = debugger.dom_outline(max_depth=1)
+        assert "<h1" not in shallow
+
+    def test_find_elements(self):
+        debugger = RemoteDebugger(make_runtime())
+        forms = debugger.find_elements("form")
+        assert len(forms) == 1
+        assert forms[0].element_id == "checkout"
+
+    def test_links_rendered_as_buttons_detection(self):
+        """The Facebook pattern: a URL shown on a tappable div."""
+        html = """
+        <html><body>
+          <a href="https://real-anchor.example/">https://real-anchor.example/</a>
+          <div class="touchable">https://shared-link.example/article</div>
+          <span>plain text</span>
+        </body></html>
+        """
+        debugger = RemoteDebugger(make_runtime(html=html))
+        suspects = debugger.links_rendered_as_buttons()
+        assert len(suspects) == 1
+        assert suspects[0].tag == "div"
+
+    def test_console_messages_visible(self):
+        runtime = make_runtime()
+        runtime.evaluateJavascript("console.log('from page')")
+        debugger = RemoteDebugger(runtime)
+        assert ("log", "from page") in debugger.console_messages()
+
+    def test_evaluate_expression(self):
+        debugger = RemoteDebugger(make_runtime())
+        assert debugger.evaluate("document.readyState") == "complete"
+
+    def test_list_js_bridges(self):
+        runtime = make_runtime()
+        runtime.addJavascriptInterface(JsBridge("fbpayIAWBridge"),
+                                       "fbpayIAWBridge")
+        runtime.addJavascriptInterface(JsBridge("a0"), "a0")
+        debugger = RemoteDebugger(runtime)
+        assert debugger.list_js_bridges() == ["a0", "fbpayIAWBridge"]
+
+    def test_security_state_no_lock_icon(self):
+        """Table 1's phishing row: WebViews never show the TLS lock."""
+        runtime = make_runtime()
+        runtime.addJavascriptInterface(JsBridge("bridge"), "bridge")
+        state = RemoteDebugger(runtime).security_state()
+        assert state["secure_transport"] is True
+        assert state["lock_icon_shown"] is False
+        assert state["js_bridges_exposed"] == 1
+
+    def test_inspection_of_real_iab(self):
+        """Attach the debugger to Facebook's IAB like the paper did."""
+        from repro.dynamic.apps import real_app_profiles
+
+        network = Network(seed=0, strict=False)
+        network.register_host("measurement.example.org",
+                              lambda path: HTML5_TEST_PAGE.encode("utf-8"))
+        device = Device(network=network)
+        facebook = [p for p in real_app_profiles()
+                    if p.name == "Facebook"][0]
+        event = facebook.open_link(device, TEST_PAGE_URL)
+        debugger = RemoteDebugger(event.runtime)
+        bridges = debugger.list_js_bridges()
+        assert "fbpayIAWBridge" in bridges
+        assert "metaCheckoutIAWBridge" in bridges
+        # The injected autofill script element is visible in the DOM.
+        outline = debugger.dom_outline(max_depth=8)
+        assert "iab.autofill" in outline

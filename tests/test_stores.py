@@ -1,0 +1,150 @@
+"""Tests for the Play Store and AndroZoo substrates."""
+
+import datetime
+
+import pytest
+
+from repro.androzoo import AndroZooRepository
+from repro.androzoo.repository import PLAY_MARKET
+from repro.errors import AppNotFoundError, RepositoryError
+from repro.playstore import (
+    AppCategory,
+    AppListing,
+    PlayScraperClient,
+    PlaySdkIndex,
+    PlayStore,
+    SdkIndexEntry,
+)
+
+
+def listing(package="com.x.app", installs=500_000, updated="2022-05-01"):
+    return AppListing(package, "X App", AppCategory.TOOLS, installs, updated)
+
+
+class TestAppListing:
+    def test_updated_accepts_string(self):
+        assert listing().updated == datetime.date(2022, 5, 1)
+
+    def test_to_dict(self):
+        d = listing().to_dict()
+        assert d["appId"] == "com.x.app"
+        assert d["minInstalls"] == 500_000
+        assert d["genre"] == "Tools"
+
+    def test_category_game_detection(self):
+        assert AppCategory.PUZZLE.is_game
+        assert not AppCategory.FINANCE.is_game
+
+
+class TestPlayStore:
+    def test_publish_and_lookup(self):
+        store = PlayStore()
+        store.publish(listing())
+        assert store.lookup("com.x.app").installs == 500_000
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(AppNotFoundError):
+            PlayStore().lookup("com.missing")
+
+    def test_delist(self):
+        store = PlayStore()
+        store.publish(listing())
+        store.delist("com.x.app")
+        assert not store.is_listed("com.x.app")
+        with pytest.raises(AppNotFoundError):
+            store.lookup("com.x.app")
+
+    def test_publish_requires_listing(self):
+        with pytest.raises(TypeError):
+            PlayStore().publish({"appId": "x"})
+
+    def test_len(self):
+        store = PlayStore()
+        store.publish(listing())
+        assert len(store) == 1
+
+
+class TestScraperClient:
+    def test_counts_requests_and_misses(self):
+        store = PlayStore()
+        store.publish(listing())
+        client = PlayScraperClient(store)
+        client.app("com.x.app")
+        assert client.try_app_listing("com.other") is None
+        assert client.requests_made == 2
+        assert client.not_found == 1
+
+    def test_app_returns_dict(self):
+        store = PlayStore()
+        store.publish(listing())
+        assert PlayScraperClient(store).app("com.x.app")["appId"] == "com.x.app"
+
+
+class TestSdkIndex:
+    def test_prefix_match(self):
+        entry = SdkIndexEntry("AppLovin", "Advertising", ["com.applovin"])
+        index = PlaySdkIndex([entry])
+        assert index.lookup_package("com.applovin.adview") is entry
+        assert index.lookup_package("com.applovin") is entry
+
+    def test_no_partial_segment_match(self):
+        entry = SdkIndexEntry("X", "Ads", ["com.applovin"])
+        index = PlaySdkIndex([entry])
+        assert index.lookup_package("com.applovinother.ads") is None
+
+    def test_longest_prefix_wins(self):
+        broad = SdkIndexEntry("Google", "Misc", ["com.google"])
+        narrow = SdkIndexEntry("Firebase", "Auth", ["com.google.firebase"])
+        index = PlaySdkIndex([broad, narrow])
+        assert index.lookup_package("com.google.firebase.auth").name == "Firebase"
+        assert index.lookup_package("com.google.maps").name == "Google"
+
+    def test_entries_deduplicated(self):
+        entry = SdkIndexEntry("X", "Ads", ["a.b", "a.c"])
+        index = PlaySdkIndex([entry])
+        assert len(index) == 1
+
+
+class TestAndroZoo:
+    def test_archive_and_download(self):
+        repo = AndroZooRepository()
+        row = repo.archive("com.x", 3, "2022-01-01", b"apk-bytes")
+        assert repo.download(row.sha256) == b"apk-bytes"
+        assert repo.downloads_served == 1
+
+    def test_lazy_payload_resolved_once(self):
+        calls = []
+
+        def make():
+            calls.append(1)
+            return b"lazy"
+
+        repo = AndroZooRepository()
+        row = repo.archive("com.x", 1, "2022-01-01", make)
+        assert repo.download(row.sha256) == b"lazy"
+        assert repo.download(row.sha256) == b"lazy"
+        assert len(calls) == 1
+
+    def test_unknown_sha_raises(self):
+        with pytest.raises(RepositoryError):
+            AndroZooRepository().download("f" * 64)
+
+    def test_snapshot_packages_by_market(self):
+        repo = AndroZooRepository()
+        repo.archive("com.a", 1, "2022-01-01", b"x")
+        repo.archive("com.b", 1, "2022-01-01", b"y", markets=("anzhi",))
+        snapshot = repo.snapshot("2023-01-13")
+        assert snapshot.packages(market=PLAY_MARKET) == ["com.a"]
+        assert set(snapshot.packages()) == {"com.a", "com.b"}
+
+    def test_latest_version(self):
+        repo = AndroZooRepository()
+        repo.archive("com.a", 1, "2021-01-01", b"v1")
+        row2 = repo.archive("com.a", 5, "2022-06-01", b"v5")
+        snapshot = repo.snapshot()
+        assert snapshot.latest_version("com.a").sha256 == row2.sha256
+        assert snapshot.latest_version("com.none") is None
+
+    def test_snapshot_date_default(self):
+        snapshot = AndroZooRepository().snapshot()
+        assert snapshot.date == datetime.date(2023, 1, 13)

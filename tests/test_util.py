@@ -1,0 +1,117 @@
+"""Tests for repro.util."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import util
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert util.make_rng(42).random() == util.make_rng(42).random()
+
+    def test_string_seed_deterministic(self):
+        assert util.make_rng("apps").random() == util.make_rng("apps").random()
+
+    def test_different_seeds_differ(self):
+        assert util.make_rng(1).random() != util.make_rng(2).random()
+
+    def test_returns_random_instance(self):
+        assert isinstance(util.make_rng(0), random.Random)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert util.derive_seed(1, "a", "b") == util.derive_seed(1, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert util.derive_seed(1, "a") != util.derive_seed(1, "b")
+
+    def test_base_sensitivity(self):
+        assert util.derive_seed(1, "a") != util.derive_seed(2, "a")
+
+    @given(st.integers(), st.text(max_size=20))
+    def test_always_nonnegative(self, base, label):
+        assert util.derive_seed(base, label) >= 0
+
+
+class TestStableHash:
+    def test_string_stable(self):
+        assert util.stable_hash("x") == util.stable_hash("x")
+
+    def test_bytes_and_str_coincide_when_same_utf8(self):
+        assert util.stable_hash("abc") == util.stable_hash(b"abc")
+
+    def test_bits_parameter(self):
+        assert util.stable_hash("x", bits=32) < 2 ** 32
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        rng = util.make_rng(0)
+        assert util.weighted_choice(rng, {"only": 1.0}) == "only"
+
+    def test_zero_total_raises(self):
+        rng = util.make_rng(0)
+        with pytest.raises(ValueError):
+            util.weighted_choice(rng, {"a": 0.0})
+
+    def test_empty_raises(self):
+        rng = util.make_rng(0)
+        with pytest.raises(ValueError):
+            util.weighted_choice(rng, {})
+
+    def test_respects_weights_statistically(self):
+        rng = util.make_rng(7)
+        weights = {"common": 9.0, "rare": 1.0}
+        picks = [util.weighted_choice(rng, weights) for _ in range(2000)]
+        share = picks.count("common") / len(picks)
+        assert 0.85 < share < 0.95
+
+    def test_accepts_pairs_list(self):
+        rng = util.make_rng(0)
+        assert util.weighted_choice(rng, [("a", 2.0)]) == "a"
+
+
+class TestInstalls:
+    def test_floor_applies(self):
+        rng = util.make_rng(0)
+        assert util.zipf_installs(rng, rank=10 ** 9) >= 100_000
+
+    def test_rank_one_is_large(self):
+        rng = util.make_rng(0)
+        assert util.zipf_installs(rng, rank=1) >= 1_000_000_000
+
+    def test_monotone_buckets(self):
+        assert util.snap_to_install_bucket(100_000) == 100_000
+        assert util.snap_to_install_bucket(750_000) == 500_000
+        assert util.snap_to_install_bucket(10 ** 10 + 5) == 10 ** 10
+
+    @given(st.floats(min_value=100_000, max_value=2e10))
+    def test_snap_never_exceeds_value(self, value):
+        assert util.snap_to_install_bucket(value) <= value
+
+
+class TestFormatting:
+    def test_format_count(self):
+        assert util.format_count(27397) == "27,397"
+
+    def test_format_abbrev_billions(self):
+        assert util.format_abbrev(8_400_000_000) == "8.4B"
+
+    def test_format_abbrev_millions(self):
+        assert util.format_abbrev(289_000_000) == "289M"
+
+    def test_format_abbrev_thousands(self):
+        assert util.format_abbrev(146_500) == "146.5K"
+
+    def test_format_abbrev_small(self):
+        assert util.format_abbrev(42) == "42"
+
+    def test_percent(self):
+        assert util.percent(55, 100) == 55.0
+
+    def test_percent_zero_whole(self):
+        assert util.percent(1, 0) == 0.0

@@ -1,0 +1,143 @@
+"""Tests for URL parsing and endpoint classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.web.classify import EndpointCategory, classify_endpoint
+from repro.web.urls import Url, parse_url
+
+
+class TestParseUrl:
+    def test_basic(self):
+        url = parse_url("https://example.com/path?a=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.port == 443
+        assert url.path == "/path"
+        assert url.query == "a=1"
+        assert url.fragment == "frag"
+
+    def test_default_ports(self):
+        assert parse_url("http://x.com/").port == 80
+        assert parse_url("https://x.com/").port == 443
+
+    def test_explicit_port(self):
+        assert parse_url("http://x.com:8080/").port == 8080
+
+    def test_no_path(self):
+        assert parse_url("https://x.com").path == "/"
+
+    def test_relative_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_url("/relative/path")
+
+    def test_missing_host_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_url("https:///path")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_url("https://x.com:notaport/")
+        with pytest.raises(NetworkError):
+            parse_url("https://x.com:99999/")
+
+    def test_case_normalization(self):
+        url = parse_url("HTTPS://WWW.Example.COM/Path")
+        assert url.scheme == "https"
+        assert url.host == "www.example.com"
+        assert url.path == "/Path"
+
+    def test_str_roundtrip(self):
+        text = "https://example.com/a/b?x=1&y=2#z"
+        assert str(parse_url(text)) == text
+
+    def test_str_hides_default_port(self):
+        assert str(parse_url("https://x.com:443/")) == "https://x.com/"
+
+    def test_query_params(self):
+        url = parse_url("https://x.com/?a=1&b=&c")
+        assert url.query_params == {"a": "1", "b": "", "c": ""}
+
+    @given(st.from_regex(r"[a-z][a-z0-9-]{0,10}(\.[a-z][a-z0-9-]{1,8}){1,3}",
+                         fullmatch=True))
+    def test_host_roundtrip_property(self, host):
+        assert parse_url("https://%s/" % host).host == host
+
+
+class TestRegistrableDomain:
+    def test_simple(self):
+        assert parse_url("https://www.example.com/").registrable_domain == (
+            "example.com"
+        )
+
+    def test_bare_domain(self):
+        assert parse_url("https://example.com/").registrable_domain == (
+            "example.com"
+        )
+
+    def test_multi_label_suffix(self):
+        assert parse_url("https://www.bbc.co.uk/").registrable_domain == (
+            "bbc.co.uk"
+        )
+
+    def test_same_site(self):
+        a = parse_url("https://lm.facebook.com/l.php")
+        b = parse_url("https://www.facebook.com/")
+        assert a.same_site(b)
+        assert not a.same_origin(b)
+
+    def test_is_secure(self):
+        assert parse_url("https://x.com/").is_secure
+        assert not parse_url("http://x.com/").is_secure
+
+
+class TestClassify:
+    def test_intended_site(self):
+        category = classify_endpoint(
+            "https://cdn.dailypress1.com/js",
+            intended_url="https://www.dailypress1.com/",
+        )
+        assert category == EndpointCategory.INTENDED_SITE
+
+    def test_known_tracker(self):
+        assert classify_endpoint("https://cedexis-radar.net/api") == (
+            EndpointCategory.TRACKER
+        )
+
+    def test_known_ad_network(self):
+        assert classify_endpoint("ads.mopub.com") == EndpointCategory.AD_NETWORK
+        assert classify_endpoint("supply.inmobicdn.net") == (
+            EndpointCategory.AD_NETWORK
+        )
+
+    def test_known_cdn(self):
+        assert classify_endpoint("https://d1xyz.cloudfront.net/a.js") == (
+            EndpointCategory.CDN
+        )
+        assert classify_endpoint("img-a.licdn.com") == EndpointCategory.CDN
+
+    def test_app_service(self):
+        assert classify_endpoint("px.ads.linkedin.com") == (
+            EndpointCategory.APP_SERVICE
+        )
+
+    def test_heuristic_tracker(self):
+        assert classify_endpoint("telemetry.unknownvendor.io") == (
+            EndpointCategory.TRACKER
+        )
+
+    def test_heuristic_ads(self):
+        assert classify_endpoint("adserver.randomsite.biz") == (
+            EndpointCategory.AD_NETWORK
+        )
+
+    def test_other(self):
+        assert classify_endpoint("plain.randomhost.zz") == (
+            EndpointCategory.OTHER
+        )
+
+    def test_url_object_accepted(self):
+        assert classify_endpoint(Url("https", "ads.mopub.com")) == (
+            EndpointCategory.AD_NETWORK
+        )
