@@ -7,9 +7,12 @@ Printed output shows measured values next to the paper's, so a bench run
 reads as a side-by-side reproduction report.
 """
 
+import time
+
 import pytest
 
 from repro.core import DynamicStudy, StaticStudy
+from repro.obs import Obs
 from repro.util import DEFAULT_SEED
 
 BENCH_UNIVERSE = 60_000
@@ -18,14 +21,21 @@ BENCH_SITES = 60
 
 @pytest.fixture(scope="session")
 def static_study():
-    study = StaticStudy(universe_size=BENCH_UNIVERSE, seed=DEFAULT_SEED)
+    # A real clock is injected here (only here) so the run report's stage
+    # timings and apps/sec are wall-clock truths; study *results* stay
+    # deterministic either way.
+    study = StaticStudy(universe_size=BENCH_UNIVERSE, seed=DEFAULT_SEED,
+                        obs=Obs(clock=time.perf_counter))
     study.run()
+    print()
+    print(study.run_report())
     return study
 
 
 @pytest.fixture(scope="session")
 def dynamic_study():
-    return DynamicStudy(seed=DEFAULT_SEED, site_count=BENCH_SITES)
+    return DynamicStudy(seed=DEFAULT_SEED, site_count=BENCH_SITES,
+                        obs=Obs(clock=time.perf_counter))
 
 
 def paper_vs_measured(title, rows):

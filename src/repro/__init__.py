@@ -16,7 +16,13 @@ a calibrated synthetic Android ecosystem:
 See DESIGN.md for the system inventory and per-experiment index.
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
+
+# Library logging hygiene: importing repro never prints. Studies opt into
+# log output with repro.obs.configure(), which honors REPRO_LOG_LEVEL.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.util import DEFAULT_SEED
 

@@ -6,6 +6,7 @@ from repro.dynamic.apps import real_app_profiles, webview_iab_profiles
 from repro.dynamic.crawler import AdbCrawler
 from repro.dynamic.manual_study import ManualStudy
 from repro.dynamic.measurements import IabMeasurementHarness
+from repro.obs import Obs
 from repro.reporting import Table
 from repro.static_analysis.pipeline import (
     PipelineOptions,
@@ -20,14 +21,18 @@ class StaticStudy:
     """The ~146.5K-app static measurement study, at configurable scale."""
 
     def __init__(self, universe_size=20_000, seed=DEFAULT_SEED, corpus=None,
-                 options=None):
+                 options=None, obs=None):
+        #: Per-study observability bundle (registry + tracer + clock).
+        self.obs = obs if obs is not None else Obs()
         if corpus is None:
             corpus = generate_corpus(
-                CorpusConfig(universe_size=universe_size, seed=seed)
+                CorpusConfig(universe_size=universe_size, seed=seed),
+                obs=self.obs,
             )
         self.corpus = corpus
         self.options = options or PipelineOptions()
-        self.pipeline = StaticAnalysisPipeline(corpus, options=self.options)
+        self.pipeline = StaticAnalysisPipeline(corpus, options=self.options,
+                                               obs=self.obs)
         self.result = None
         self._aggregator = None
 
@@ -42,8 +47,18 @@ class StaticStudy:
         if self.result is None:
             self.run()
         if self._aggregator is None:
-            self._aggregator = static_report.Aggregator(self.result)
+            with self.obs.activate():
+                self._aggregator = static_report.Aggregator(self.result)
         return self._aggregator
+
+    def run_report(self):
+        """Pipeline-health markdown: throughput, drops, stage time shares."""
+        if self.result is None:
+            self.run()
+        return self.obs.run_report(
+            "Static study run report", items_label="apps",
+            items_count=self.result.analyzed, root_span="run",
+        )
 
     # -- paper artifacts ----------------------------------------------------
 
@@ -84,8 +99,10 @@ class StaticStudy:
 class DynamicStudy:
     """The top-1K semi-manual dynamic study."""
 
-    def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000):
+    def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000,
+                 obs=None):
         self.seed = seed
+        self.obs = obs if obs is not None else Obs()
         self.sites = top_sites(site_count)
         self.manual_study = ManualStudy(total_apps=total_apps, seed=seed)
         self.harness = IabMeasurementHarness(seed=seed)
@@ -161,9 +178,18 @@ class DynamicStudy:
         if self._crawl is None:
             if apps is None:
                 apps = webview_iab_profiles()
-            crawler = AdbCrawler(apps, sites=self.sites, seed=self.seed)
+            crawler = AdbCrawler(apps, sites=self.sites, seed=self.seed,
+                                 obs=self.obs)
             self._crawl = crawler.crawl()
         return self._crawl
+
+    def run_report(self):
+        """Crawl-health markdown: visit throughput and stage time shares."""
+        visits = len(self._crawl.visits) if self._crawl is not None else 0
+        return self.obs.run_report(
+            "Dynamic study run report", items_label="visits",
+            items_count=visits, root_span="crawl",
+        )
 
     def figure6(self, app_name):
         """Per-site-category mean distinct app-specific endpoints."""

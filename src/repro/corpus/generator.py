@@ -12,9 +12,13 @@ from repro.androzoo.repository import AndroZooRepository
 from repro.corpus.appgen import build_app_apk
 from repro.corpus.config import CorpusConfig
 from repro.corpus.profiles import generate_specs
+from repro.obs import default_obs, get_logger
 from repro.playstore.models import AppListing
 from repro.playstore.store import PlayStore
 from repro.sdk.catalog import build_catalog
+
+#: Universe composition counter, labelled by spec disposition.
+CORPUS_SPECS_METRIC = "repro_corpus_specs_total"
 
 
 class Corpus:
@@ -49,12 +53,35 @@ class Corpus:
         )
 
 
-def generate_corpus(config=None, catalog=None):
+def generate_corpus(config=None, catalog=None, obs=None):
     """Generate the full synthetic ecosystem."""
     config = config or CorpusConfig()
     catalog = catalog or build_catalog()
-    specs = generate_specs(config, catalog)
+    obs = obs if obs is not None else default_obs()
+    with obs.span("corpus_generate", universe=config.universe_size,
+                  seed=config.seed):
+        specs = generate_specs(config, catalog)
+        corpus = _assemble(config, catalog, specs)
 
+    dispositions = obs.counter(
+        CORPUS_SPECS_METRIC,
+        "Generated app specs, by disposition in the synthetic ecosystem.",
+        ("disposition",),
+    )
+    dispositions.labels(disposition="listed").inc(
+        sum(1 for spec in specs if spec.listed))
+    dispositions.labels(disposition="delisted").inc(
+        sum(1 for spec in specs if not spec.listed))
+    dispositions.labels(disposition="selected").inc(
+        len(corpus.selected_specs()))
+    get_logger("corpus").info(
+        "corpus_generated", universe=len(specs),
+        selected=len(corpus.selected_specs()), seed=config.seed,
+    )
+    return corpus
+
+
+def _assemble(config, catalog, specs):
     store = PlayStore()
     repository = AndroZooRepository()
 

@@ -14,8 +14,15 @@ from repro.dynamic.device import Device
 from repro.dynamic.iab import IabKind
 from repro.dynamic.webview_runtime import WebViewRuntime
 from repro.netstack.network import Network, Request
+from repro.obs import bind_context, default_obs, get_logger
 from repro.web.classify import classify_endpoint
 from repro.web.sites import top_sites
+
+#: Metrics emitted by the crawler.
+CRAWL_VISITS_METRIC = "repro_crawl_visits_total"
+CRAWL_NETLOG_EVENTS_METRIC = "repro_crawl_netlog_events_total"
+CRAWL_VISIT_ENDPOINTS_METRIC = "repro_crawl_visit_endpoints"
+_ENDPOINT_BUCKETS = (1, 2, 5, 10, 20, 50, 100)
 
 #: Android's System WebView Shell app — the uninstrumented baseline [32].
 SYSTEM_WEBVIEW_SHELL = RealAppProfile(
@@ -104,12 +111,29 @@ class CrawlResult:
 class AdbCrawler:
     """Crawls the top sites through each app's IAB."""
 
-    def __init__(self, apps, sites=None, seed=0, include_baseline=True):
+    def __init__(self, apps, sites=None, seed=0, include_baseline=True,
+                 obs=None):
         self.apps = list(apps)
         self.sites = list(sites) if sites is not None else top_sites(100)
         self.seed = seed
         self.include_baseline = include_baseline
         self.adb_commands = []
+        self.obs = obs if obs is not None else default_obs()
+        self.log = get_logger("dynamic.crawler")
+        self._visits = self.obs.counter(
+            CRAWL_VISITS_METRIC, "Completed (app, site) crawl visits.",
+            ("app",),
+        )
+        self._netlog_events = self.obs.counter(
+            CRAWL_NETLOG_EVENTS_METRIC,
+            "NetLog events captured during crawl visits, by event type.",
+            ("event_type",),
+        )
+        self._endpoints = self.obs.histogram(
+            CRAWL_VISIT_ENDPOINTS_METRIC,
+            "Distinct endpoints contacted per visit.",
+            buckets=_ENDPOINT_BUCKETS,
+        )
 
     # -- simulated ADB steps ----------------------------------------------------
 
@@ -118,6 +142,10 @@ class AdbCrawler:
 
     def _visit(self, app, site, device):
         """One scripted visit: the five ADB steps plus log collection."""
+        with self.obs.span("visit", app=app.name, site=site.host) as span:
+            return self._visit_in_span(app, site, device, span)
+
+    def _visit_in_span(self, app, site, device, span):
         self._adb("am start -n %s/.MainActivity" % app.package)
         self._adb("input tap 540 1200")           # navigate to surface
         self._adb("input text '%s'" % site.landing_url)
@@ -148,6 +176,23 @@ class AdbCrawler:
         device.advance_clock(PAGE_LOAD_WAIT_MS)    # 20s resource wait
 
         endpoints = runtime.netlog.urls()
+        # Bridge the per-instance NetLog into the owning visit's span
+        # before the on-device log is purged, so the trace tree retains
+        # the full event stream for this page load.
+        for event in runtime.netlog.events:
+            record = event.to_dict()
+            span.add_event(record.pop("type"),
+                           time=record.pop("time_ms"), **record)
+            self._netlog_events.labels(
+                event_type=event.event_type.value
+            ).inc()
+        span.set_attribute("endpoints", len(endpoints))
+        span.set_attribute("netlog_source_id", runtime.netlog.source_id)
+        self._visits.labels(app=app.name).inc()
+        self._endpoints.observe(len(endpoints))
+        self.log.debug("visit_complete", endpoints=len(endpoints),
+                       netlog_events=len(runtime.netlog))
+
         self._adb("logcat -c")                     # purge device logs
         runtime.netlog.purge()
         self._adb("am force-stop %s" % app.package)
@@ -156,6 +201,12 @@ class AdbCrawler:
 
     def crawl(self):
         """Run the full crawl; returns a :class:`CrawlResult`."""
+        with self.obs.activate(), bind_context(stage="crawl"), \
+                self.obs.span("crawl", apps=len(self.apps),
+                              sites=len(self.sites)):
+            return self._crawl()
+
+    def _crawl(self):
         visits = []
         baseline_visits = []
         apps = list(self.apps)
@@ -167,10 +218,14 @@ class AdbCrawler:
                 network.register_site(site)
             device = Device(network=network)
             device.install(app)
-            for site in self.sites:
-                visit = self._visit(app, site, device)
-                if app is SYSTEM_WEBVIEW_SHELL:
-                    baseline_visits.append(visit)
-                else:
-                    visits.append(visit)
+            with bind_context(package=app.package), \
+                    self.obs.span("crawl_app", app=app.name):
+                for site in self.sites:
+                    visit = self._visit(app, site, device)
+                    if app is SYSTEM_WEBVIEW_SHELL:
+                        baseline_visits.append(visit)
+                    else:
+                        visits.append(visit)
+        self.log.info("crawl_complete", visits=len(visits),
+                      baseline_visits=len(baseline_visits))
         return CrawlResult(visits, baseline_visits)

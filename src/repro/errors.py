@@ -102,3 +102,55 @@ class CrawlError(ReproError):
 
 class CorpusError(ReproError):
     """Raised by the corpus generator for inconsistent configurations."""
+
+
+# -- drop-reason taxonomy for the metrics layer -------------------------------
+#
+# The observability layer (repro.obs) counts pipeline drops per reason; the
+# reason slugs are derived 1:1 from this module's exception classes so the
+# metric vocabulary and the error taxonomy can never drift apart. Slugs are
+# part of the public metric surface — renaming an exception class is a
+# breaking change for dashboards (tests/test_errors_taxonomy.py pins them).
+
+def error_classes():
+    """Every public :class:`ReproError` subclass defined in this module."""
+    classes = []
+    for name, value in sorted(globals().items()):
+        if name.startswith("_"):
+            continue
+        if isinstance(value, type) and issubclass(value, ReproError):
+            classes.append(value)
+    return classes
+
+
+def leaf_error_classes():
+    """Taxonomy leaves: error classes with no subclasses in this module."""
+    classes = error_classes()
+    return [
+        cls for cls in classes
+        if not any(other is not cls and issubclass(other, cls)
+                   for other in classes)
+    ]
+
+
+def error_slug(exc_or_class):
+    """Stable snake_case drop-reason slug for an error class or instance.
+
+    ``BrokenApkError`` -> ``broken_apk``, ``AppNotFoundError`` ->
+    ``app_not_found``, ``DnsError`` -> ``dns``.
+    """
+    cls = exc_or_class if isinstance(exc_or_class, type) else type(exc_or_class)
+    name = cls.__name__
+    if name.endswith("Error") and name != "Error":
+        name = name[: -len("Error")]
+    parts = []
+    for char in name:
+        if char.isupper() and parts:
+            parts.append("_")
+        parts.append(char.lower())
+    return "".join(parts)
+
+
+def drop_reason_slugs():
+    """``{slug: leaf class}`` for every taxonomy leaf (the counter keys)."""
+    return {error_slug(cls): cls for cls in leaf_error_classes()}

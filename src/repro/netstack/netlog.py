@@ -34,6 +34,22 @@ class NetLogEvent:
             self.event_type.value, self.url, self.time_ms
         )
 
+    def to_dict(self):
+        """A JSON-able record (the trace exporter attaches these to spans)."""
+        return {
+            "type": self.event_type.value,
+            "url": self.url,
+            "time_ms": self.time_ms,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            NetLogEventType(data["type"]), data["url"], data["time_ms"],
+            data.get("details"),
+        )
+
 
 class NetLog:
     """One WebView/CT instance's network log."""
@@ -70,6 +86,21 @@ class NetLog:
     def purge(self):
         """Clear the log (the crawler purges between site visits)."""
         self.events = []
+
+    def to_dict(self):
+        """Structured export of the whole log; round-trips via from_dict."""
+        return {
+            "source_id": self.source_id,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        log = cls(source_id=data.get("source_id", 0))
+        log.events = [
+            NetLogEvent.from_dict(event) for event in data.get("events", [])
+        ]
+        return log
 
     def __len__(self):
         return len(self.events)

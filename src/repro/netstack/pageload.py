@@ -15,7 +15,12 @@ CT-vs-WebView ratio are the reproduced shape.
 import enum
 
 from repro.netstack.network import Network, Request
+from repro.obs import default_obs
 from repro.util import derive_seed, make_rng
+
+#: Histogram of simulated total load times, labelled by loader kind.
+PAGELOAD_MS_METRIC = "repro_pageload_ms"
+_PAGELOAD_BUCKETS = (250, 500, 1000, 2000, 4000, 8000)
 
 
 class LoaderKind(enum.Enum):
@@ -67,12 +72,25 @@ class PageLoadResult:
 class PageLoadModel:
     """Simulates loading one site with each loader kind."""
 
-    def __init__(self, seed=0, rtt_ms=45.0):
+    def __init__(self, seed=0, rtt_ms=45.0, obs=None):
         self.seed = seed
         self.rtt_ms = rtt_ms
+        self.obs = obs if obs is not None else default_obs()
+        self._load_times = self.obs.histogram(
+            PAGELOAD_MS_METRIC,
+            "Simulated total page-load time (ms), by loader kind.",
+            ("loader",), buckets=_PAGELOAD_BUCKETS,
+        )
 
     def load(self, site, loader, trial=0):
         """Load ``site`` (a SiteProfile) with ``loader``; returns timings."""
+        with self.obs.span("pageload", site=site.host, loader=loader.value,
+                           trial=trial):
+            result = self._load(site, loader, trial)
+        self._load_times.labels(loader=loader.value).observe(result.total_ms)
+        return result
+
+    def _load(self, site, loader, trial):
         rng = make_rng(derive_seed(self.seed, "pageload", site.host,
                                    loader.value, trial))
         network = Network(

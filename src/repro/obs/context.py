@@ -1,0 +1,31 @@
+"""Run/app context propagation for logs and spans.
+
+A contextvar holds an immutable mapping of fields describing "where the
+pipeline currently is" — package name, snapshot date, stage — bound with
+:func:`bind_context`. Structured log records and new spans merge the
+current context automatically, so a deep helper's ``logger.info("retry")``
+still says *which* app and stage it happened in.
+"""
+
+import contextlib
+import contextvars
+
+_CONTEXT = contextvars.ContextVar("repro_log_context", default=None)
+
+
+def current_context():
+    """A copy of the currently bound context fields."""
+    bound = _CONTEXT.get()
+    return dict(bound) if bound else {}
+
+
+@contextlib.contextmanager
+def bind_context(**fields):
+    """Bind fields for the enclosed block (merging with outer bindings)."""
+    merged = dict(_CONTEXT.get() or {})
+    merged.update(fields)
+    token = _CONTEXT.set(merged)
+    try:
+        yield merged
+    finally:
+        _CONTEXT.reset(token)

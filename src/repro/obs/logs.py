@@ -1,0 +1,141 @@
+"""Structured key=value logging on a ``repro``-rooted logger hierarchy.
+
+Instrumented code logs *events with fields*, not prose::
+
+    logger = get_logger("static.pipeline")
+    logger.info("download", package="com.example.app", size=41_210)
+    # -> repro.static.pipeline: download package=com.example.app size=41210
+
+Fields bound via :func:`repro.obs.context.bind_context` (package name,
+snapshot date, stage) are merged into every record emitted inside the
+binding, so call sites only pass what is locally interesting.
+
+The library itself never prints: ``repro.__init__`` attaches a
+``NullHandler`` to the ``repro`` root. Studies opt in with
+:func:`configure`, which honors the ``REPRO_LOG_LEVEL`` environment
+variable.
+"""
+
+import logging
+import os
+
+from repro.obs.context import current_context
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Environment variable consulted by :func:`configure` for the default level.
+LOG_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+
+def format_kv(fields):
+    """Render fields as ``key=value`` pairs, quoting values with spaces."""
+    parts = []
+    for key in fields:
+        value = fields[key]
+        text = str(value)
+        if text == "" or any(ch in text for ch in ' "='):
+            text = '"%s"' % text.replace('"', '\\"')
+        parts.append("%s=%s" % (key, text))
+    return " ".join(parts)
+
+
+class StructuredLogger:
+    """A thin wrapper emitting ``event key=value ...`` records.
+
+    The merged fields also travel on the record as ``record.repro_fields``
+    so custom handlers can consume them structurally.
+    """
+
+    def __init__(self, logger):
+        self.logger = logger
+
+    @property
+    def name(self):
+        return self.logger.name
+
+    def isEnabledFor(self, level):
+        return self.logger.isEnabledFor(level)
+
+    def log(self, level, event, **fields):
+        if not self.logger.isEnabledFor(level):
+            return
+        merged = current_context()
+        merged.update(fields)
+        message = event
+        if merged:
+            message = "%s %s" % (event, format_kv(merged))
+        self.logger.log(level, message,
+                        extra={"repro_fields": dict(merged),
+                               "repro_event": event})
+
+    def debug(self, event, **fields):
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event, **fields):
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event, **fields):
+        self.log(logging.WARNING, event, **fields)
+
+    def error(self, event, **fields):
+        self.log(logging.ERROR, event, **fields)
+
+    def __repr__(self):
+        return "StructuredLogger(%s)" % self.logger.name
+
+
+def get_logger(name=""):
+    """A :class:`StructuredLogger` under the ``repro`` hierarchy.
+
+    ``get_logger("static.pipeline")`` -> ``repro.static.pipeline``; an
+    already-qualified ``repro...`` name or the empty string (the root) are
+    used as-is.
+    """
+    if not name:
+        qualified = ROOT_LOGGER_NAME
+    elif name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        qualified = name
+    else:
+        qualified = "%s.%s" % (ROOT_LOGGER_NAME, name)
+    return StructuredLogger(logging.getLogger(qualified))
+
+
+def resolve_level(level=None):
+    """Resolve a level name/number, consulting ``REPRO_LOG_LEVEL`` last."""
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV_VAR) or logging.INFO
+    if isinstance(level, str):
+        text = level.strip()
+        if text.isdigit():
+            return int(text)
+        resolved = logging.getLevelName(text.upper())
+        if not isinstance(resolved, int):
+            raise ValueError("unknown log level %r" % level)
+        return resolved
+    return int(level)
+
+
+class _ReproHandler(logging.StreamHandler):
+    """Marker subclass so :func:`configure` stays idempotent."""
+
+
+def configure(level=None, stream=None, fmt=None):
+    """Opt the ``repro`` hierarchy into emitting records.
+
+    Attaches one stream handler to the ``repro`` root (replacing any
+    handler from a previous :func:`configure` call) and sets the level —
+    from the argument, else the ``REPRO_LOG_LEVEL`` environment variable,
+    else ``INFO``. Returns the handler.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    resolved = resolve_level(level)
+    for handler in list(root.handlers):
+        if isinstance(handler, _ReproHandler):
+            root.removeHandler(handler)
+    handler = _ReproHandler(stream)
+    handler.setFormatter(logging.Formatter(
+        fmt or "%(asctime)s %(levelname)s %(name)s: %(message)s"
+    ))
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    return handler

@@ -1,0 +1,90 @@
+"""Run reports: a pipeline-health summary rendered as markdown.
+
+:func:`render_run_report` turns one study's :class:`~repro.obs.Obs`
+bundle into the report the benchmarks print next to their
+paper-vs-measured blocks: throughput, the drop taxonomy, and per-stage
+time shares. Tables go through :mod:`repro.reporting` so the output
+matches every other artifact the repo renders.
+"""
+
+from repro.reporting import Table
+from repro.reporting.markdown import table_to_markdown
+
+#: Stage timing metrics fed automatically by :class:`repro.obs.Obs`.
+STAGE_SECONDS_METRIC = "repro_stage_seconds_total"
+STAGE_CALLS_METRIC = "repro_stage_calls_total"
+STAGE_ERRORS_METRIC = "repro_stage_errors_total"
+
+#: Static-pipeline funnel metrics.
+APPS_LISTED_METRIC = "repro_pipeline_apps_listed_total"
+APPS_ANALYZED_METRIC = "repro_pipeline_apps_analyzed_total"
+DROPS_METRIC = "repro_pipeline_drops_total"
+
+
+def elapsed_for(tracer, root_span):
+    """Total duration of every span named ``root_span`` in the forest."""
+    return sum(
+        span.duration for span in tracer.iter_spans()
+        if span.name == root_span
+    )
+
+
+def render_run_report(obs, title, items_label="apps", items_count=0,
+                      root_span="run", drop_metric=DROPS_METRIC):
+    """Render the throughput / drops / stage-share report as markdown.
+
+    Durations are in the bundle's clock units — real seconds when a real
+    clock was injected, deterministic ticks otherwise (the report labels
+    them "clock s" either way; see DESIGN.md §Observability).
+    """
+    sections = [_throughput_table(obs, items_label, items_count, root_span)]
+    drops = _drop_table(obs, drop_metric)
+    if drops is not None:
+        sections.append(drops)
+    stages = _stage_table(obs, elapsed_for(obs.tracer, root_span))
+    if stages is not None:
+        sections.append(stages)
+    rendered = "\n\n".join(table_to_markdown(table) for table in sections)
+    return "**%s**\n\n%s" % (title, rendered)
+
+
+def _throughput_table(obs, items_label, items_count, root_span):
+    elapsed = elapsed_for(obs.tracer, root_span)
+    rate = items_count / elapsed if elapsed else 0.0
+    table = Table(["metric", "value"], title="Throughput")
+    table.add_row("%s processed" % items_label, items_count)
+    table.add_row("elapsed (clock s)", "%.3f" % elapsed)
+    table.add_row("%s/sec" % items_label, "%.1f" % rate)
+    return table
+
+def _drop_table(obs, drop_metric):
+    drops = obs.registry.label_values(drop_metric)
+    if not drops:
+        return None
+    table = Table(["drop reason", "count"], title="Drop taxonomy")
+    ordered = sorted(drops.items(), key=lambda item: (-item[1], item[0]))
+    for labels, count in ordered:
+        table.add_row(labels[0], int(count))
+    table.add_row("total", int(sum(drops.values())))
+    return table
+
+
+def _stage_table(obs, elapsed):
+    seconds = obs.registry.label_values(STAGE_SECONDS_METRIC)
+    if not seconds:
+        return None
+    calls = obs.registry.label_values(STAGE_CALLS_METRIC)
+    # Shares are relative to the root span's elapsed time; nested spans
+    # overlap their parents, so columns intentionally do not sum to 100.
+    total = elapsed or sum(seconds.values()) or 1.0
+    table = Table(["stage", "clock s", "share %", "calls"],
+                  title="Stage time shares (of root elapsed; spans nest)")
+    ordered = sorted(seconds.items(), key=lambda item: (-item[1], item[0]))
+    for labels, value in ordered:
+        table.add_row(
+            labels[0],
+            "%.3f" % value,
+            "%.1f" % (100.0 * value / total),
+            int(calls.get(labels, 0)),
+        )
+    return table

@@ -1,0 +1,201 @@
+"""Lightweight span tracing for the study pipelines.
+
+A :class:`Span` is one timed operation (``decompile``, ``download``, a
+site visit); spans nest, carry attributes and point-in-time events, and
+record error status when the traced block raises. :class:`Tracer` holds
+the active span stack and the finished root spans, exportable as a JSON
+trace tree via :meth:`Tracer.to_dict`.
+
+Durations come from an injectable clock; the default is a deterministic
+:class:`~repro.obs.metrics.TickClock`, so traces — like metrics — are
+reproducible unless a real clock (``time.perf_counter``) is opted into.
+
+The module-level :func:`trace_span` context manager targets the *active*
+tracer, bound per-context with :func:`use_tracer` (a contextvar), falling
+back to a process-global default. Instrumented library code uses
+``trace_span(...)`` and therefore reports to whichever tracer the running
+study installed.
+"""
+
+import contextlib
+import contextvars
+
+from repro.obs.context import current_context
+from repro.obs.metrics import TickClock
+
+
+class Span:
+    """One node of a trace tree."""
+
+    __slots__ = ("name", "attributes", "start", "end", "status", "error",
+                 "children", "events")
+
+    OK = "ok"
+    ERROR = "error"
+
+    def __init__(self, name, attributes=None, start=0.0):
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.start = start
+        self.end = None
+        self.status = Span.OK
+        self.error = None
+        self.children = []
+        self.events = []
+
+    @property
+    def duration(self):
+        """Elapsed clock units (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key, value):
+        self.attributes[key] = value
+
+    def add_event(self, name, time=None, **attributes):
+        """Record a point-in-time event inside this span."""
+        self.events.append({
+            "name": name,
+            "time": time,
+            "attributes": dict(attributes),
+        })
+
+    def record_error(self, exc):
+        self.status = Span.ERROR
+        self.error = "%s: %s" % (type(exc).__name__, exc)
+
+    def to_dict(self):
+        out = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.events:
+            out["events"] = [dict(event) for event in self.events]
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def iter_spans(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name):
+        """First descendant (or self) with the given span name, or None."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self):
+        return "Span(%s, %.3f%s, %d children)" % (
+            self.name, self.duration,
+            "" if self.status == Span.OK else " " + self.status,
+            len(self.children),
+        )
+
+
+class Tracer:
+    """Records a forest of spans with an injectable clock."""
+
+    def __init__(self, clock=None, on_span_end=None):
+        self.clock = clock if clock is not None else TickClock()
+        #: Optional callback fired with each finished span (the
+        #: :class:`~repro.obs.Obs` bundle uses it to feed stage metrics).
+        self.on_span_end = on_span_end
+        self.roots = []
+        self._stack = []
+
+    @contextlib.contextmanager
+    def span(self, name, **attributes):
+        """Open a span; nested calls attach children; errors are recorded."""
+        merged = current_context()
+        merged.update(attributes)
+        span = Span(name, merged, start=self.clock())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.record_error(exc)
+            raise
+        finally:
+            span.end = self.clock()
+            self._stack.pop()
+            if self.on_span_end is not None:
+                self.on_span_end(span)
+
+    def current(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def iter_spans(self):
+        for root in self.roots:
+            yield from root.iter_spans()
+
+    def find(self, name):
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def stage_totals(self):
+        """``{span name: total duration}`` across the whole forest."""
+        totals = {}
+        for span in self.iter_spans():
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def to_dict(self):
+        """The JSON trace tree (a forest of finished root spans)."""
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def reset(self):
+        self.roots = []
+        self._stack = []
+
+    def __repr__(self):
+        return "Tracer(%d roots, depth=%d)" % (len(self.roots),
+                                               len(self._stack))
+
+
+_DEFAULT_TRACER = Tracer()
+
+_ACTIVE_TRACER = contextvars.ContextVar("repro_active_tracer", default=None)
+
+
+def default_tracer():
+    return _DEFAULT_TRACER
+
+
+def current_tracer():
+    """The context-bound tracer, falling back to the process default."""
+    tracer = _ACTIVE_TRACER.get()
+    return tracer if tracer is not None else _DEFAULT_TRACER
+
+
+@contextlib.contextmanager
+def use_tracer(tracer):
+    """Bind ``tracer`` as the active tracer for the enclosed block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+def trace_span(name, **attributes):
+    """Open a span on the active tracer: ``with trace_span("decompile", ...)``."""
+    return current_tracer().span(name, **attributes)

@@ -16,7 +16,16 @@ from repro.callgraph.builder import build_call_graph
 from repro.callgraph.entrypoints import entry_point_methods
 from repro.decompiler.jadx import Decompiler
 from repro.dex.model import MethodRef
-from repro.errors import BrokenApkError
+from repro.errors import BrokenApkError, error_slug
+from repro.obs import (
+    APPS_ANALYZED_METRIC,
+    APPS_LISTED_METRIC,
+    DROPS_METRIC,
+    bind_context,
+    default_obs,
+    get_logger,
+    trace_span,
+)
 from repro.sdk.labeling import SdkLabeler
 from repro.static_analysis.deeplinks import (
     deep_link_class_names,
@@ -64,55 +73,60 @@ def analyze_apk_bytes(data, options=None, decompiler=None, category=None,
     options = options or PipelineOptions()
     decompiler = decompiler or Decompiler()
 
-    decompiled = decompiler.decompile_bytes(data)
-    analysis = AppAnalysis(decompiled.package, category=category,
-                           installs=installs)
-    analysis.class_count = len(decompiled.sources)
+    with trace_span("decompile"):
+        decompiled = decompiler.decompile_bytes(data)
+        analysis = AppAnalysis(decompiled.package, category=category,
+                               installs=installs)
+        analysis.class_count = len(decompiled.sources)
 
-    if options.subclass_detection:
-        analysis.webview_subclasses = find_webview_subclasses(decompiled)
+        if options.subclass_detection:
+            analysis.webview_subclasses = find_webview_subclasses(decompiled)
 
     manifest = decompiled.manifest
-    dex = _read_dex(data)
-    graph = build_call_graph(dex)
+    with trace_span("callgraph", package=decompiled.package):
+        dex = _read_dex(data)
+        graph = build_call_graph(dex)
 
-    reachable = None
-    if options.entry_point_traversal:
-        roots = [
-            MethodRef(dex_class.name, method.name, method.descriptor)
-            for dex_class, method in entry_point_methods(dex, manifest)
-        ]
-        reachable = graph.reachable_from(roots)
+    with trace_span("traverse", package=decompiled.package):
+        reachable = None
+        if options.entry_point_traversal:
+            roots = [
+                MethodRef(dex_class.name, method.name, method.descriptor)
+                for dex_class, method in entry_point_methods(dex, manifest)
+            ]
+            reachable = graph.reachable_from(roots)
 
-    excluded_names = (
-        deep_link_class_names(manifest) if options.deep_link_filter else set()
-    )
+        excluded_names = (
+            deep_link_class_names(manifest) if options.deep_link_filter
+            else set()
+        )
 
-    for dex_class, method in dex.iter_methods():
-        caller = MethodRef(dex_class.name, method.name, method.descriptor)
-        caller_reachable = True
-        if reachable is not None:
-            caller_reachable = caller in reachable
-        caller_excluded = is_excluded_caller(dex_class.name, excluded_names)
-        for ref in method.invoked_refs():
-            if _is_webview_call(ref, analysis.webview_subclasses):
-                analysis.record(
-                    RecordedCall(
-                        RecordedCall.WEBVIEW, ref.method_name,
-                        dex_class.name, ref.class_name,
-                        reachable=caller_reachable,
-                        excluded=caller_excluded,
+        for dex_class, method in dex.iter_methods():
+            caller = MethodRef(dex_class.name, method.name, method.descriptor)
+            caller_reachable = True
+            if reachable is not None:
+                caller_reachable = caller in reachable
+            caller_excluded = is_excluded_caller(dex_class.name,
+                                                 excluded_names)
+            for ref in method.invoked_refs():
+                if _is_webview_call(ref, analysis.webview_subclasses):
+                    analysis.record(
+                        RecordedCall(
+                            RecordedCall.WEBVIEW, ref.method_name,
+                            dex_class.name, ref.class_name,
+                            reachable=caller_reachable,
+                            excluded=caller_excluded,
+                        )
                     )
-                )
-            elif api.is_customtabs_init(ref):
-                analysis.record(
-                    RecordedCall(
-                        RecordedCall.CUSTOMTABS, ref.method_name,
-                        dex_class.name, ref.class_name,
-                        reachable=caller_reachable,
-                        excluded=caller_excluded,
+                elif api.is_customtabs_init(ref):
+                    analysis.record(
+                        RecordedCall(
+                            RecordedCall.CUSTOMTABS, ref.method_name,
+                            dex_class.name, ref.class_name,
+                            reachable=caller_reachable,
+                            excluded=caller_excluded,
+                        )
                     )
-                )
     return analysis
 
 
@@ -122,14 +136,39 @@ def _read_dex(data):
     return read_apk(data).dex
 
 
+#: Drop-reason slugs for the metadata filters (steps 1-2). Pipeline-error
+#: drops use the :func:`repro.errors.error_slug` taxonomy instead.
+DROP_NOT_PROCESSED = "not_processed"
+DROP_BELOW_MIN_INSTALLS = "below_min_installs"
+DROP_UPDATED_BEFORE_CUTOFF = "updated_before_cutoff"
+
+
 class StaticAnalysisPipeline:
     """The corpus-level study runner (Figure 1 steps 1-2 + aggregation)."""
 
-    def __init__(self, corpus, options=None, labeler=None):
+    def __init__(self, corpus, options=None, labeler=None, obs=None):
         self.corpus = corpus
         self.options = options or PipelineOptions()
         self.labeler = labeler or SdkLabeler(corpus.catalog)
         self.decompiler = Decompiler()
+        self.obs = obs if obs is not None else default_obs()
+        self.log = get_logger("static.pipeline")
+        self._drops = self.obs.counter(
+            DROPS_METRIC,
+            "Apps dropped before successful analysis, by reason.",
+            ("reason",),
+        )
+        self._listed = self.obs.counter(
+            APPS_LISTED_METRIC,
+            "Play-market apps listed in the AndroZoo snapshot.",
+        )
+        self._analyzed = self.obs.counter(
+            APPS_ANALYZED_METRIC, "Apps successfully analyzed.",
+        )
+
+    def _drop(self, reason, count=1):
+        if count:
+            self._drops.labels(reason=reason).inc(count)
 
     def select_apps(self):
         """Steps (1)-(2): snapshot listing + metadata filters.
@@ -138,11 +177,16 @@ class StaticAnalysisPipeline:
         an (IndexRow, AppListing) pair.
         """
         from repro.androzoo.repository import PLAY_MARKET
+        from repro.errors import AppNotFoundError
         from repro.playstore.store import PlayScraperClient
 
         config = self.corpus.config
-        snapshot = self.corpus.repository.snapshot(config.snapshot_date)
-        packages = snapshot.packages(market=PLAY_MARKET)
+        with self.obs.span("list", snapshot=str(config.snapshot_date)):
+            snapshot = self.corpus.repository.snapshot(config.snapshot_date)
+            packages = snapshot.packages(market=PLAY_MARKET)
+        self._listed.inc(len(packages))
+        self.log.info("snapshot_listed", snapshot=str(config.snapshot_date),
+                      packages=len(packages))
         scraper = PlayScraperClient(self.corpus.store)
 
         funnel = {
@@ -152,25 +196,38 @@ class StaticAnalysisPipeline:
             "updated_after_2021": 0,
         }
         selected = []
-        for package in packages:
-            listing = scraper.try_app_listing(package)
-            if listing is None:
-                continue
-            funnel["found_on_play"] += 1
-            if listing.installs < config.min_installs:
-                continue
-            funnel["with_100k_downloads"] += 1
-            if listing.updated < config.update_cutoff:
-                continue
-            funnel["updated_after_2021"] += 1
-            row = snapshot.latest_version(package)
-            selected.append((row, listing))
+        with self.obs.span("filter"):
+            for package in packages:
+                listing = scraper.try_app_listing(package)
+                if listing is None:
+                    self._drop(error_slug(AppNotFoundError))
+                    continue
+                funnel["found_on_play"] += 1
+                if listing.installs < config.min_installs:
+                    self._drop(DROP_BELOW_MIN_INSTALLS)
+                    continue
+                funnel["with_100k_downloads"] += 1
+                if listing.updated < config.update_cutoff:
+                    self._drop(DROP_UPDATED_BEFORE_CUTOFF)
+                    continue
+                funnel["updated_after_2021"] += 1
+                row = snapshot.latest_version(package)
+                selected.append((row, listing))
+        self.log.info("funnel_selected", **funnel)
         return selected, funnel
 
     def run(self, max_apps=None, progress=None):
         """Run the full study; returns a :class:`StudyResult`."""
+        with self.obs.activate(), \
+                bind_context(stage="static", snapshot=str(
+                    self.corpus.config.snapshot_date)), \
+                self.obs.span("run") as run_span:
+            return self._run(max_apps, progress, run_span)
+
+    def _run(self, max_apps, progress, run_span):
         selected, funnel = self.select_apps()
-        if max_apps is not None:
+        if max_apps is not None and len(selected) > max_apps:
+            self._drop(DROP_NOT_PROCESSED, len(selected) - max_apps)
             selected = selected[:max_apps]
 
         result = StudyResult(self.labeler)
@@ -180,25 +237,39 @@ class StaticAnalysisPipeline:
         result.selected = funnel["updated_after_2021"]
 
         for position, (row, listing) in enumerate(selected):
-            data = self.corpus.repository.download(row.sha256)
-            try:
-                analysis = analyze_apk_bytes(
-                    data,
-                    options=self.options,
-                    decompiler=self.decompiler,
-                    category=listing.category,
-                    installs=listing.installs,
-                )
-            except BrokenApkError as exc:
-                analysis = AppAnalysis(row.package,
-                                       category=listing.category,
-                                       installs=listing.installs)
-                analysis.failed = True
-                analysis.failure_reason = str(exc)
-                result.broken += 1
-            else:
-                result.analyzed += 1
-            result.add(analysis)
+            with bind_context(package=row.package), \
+                    self.obs.span("analyze_app", package=row.package):
+                with self.obs.span("download"):
+                    data = self.corpus.repository.download(row.sha256)
+                try:
+                    analysis = analyze_apk_bytes(
+                        data,
+                        options=self.options,
+                        decompiler=self.decompiler,
+                        category=listing.category,
+                        installs=listing.installs,
+                    )
+                except BrokenApkError as exc:
+                    analysis = AppAnalysis(row.package,
+                                           category=listing.category,
+                                           installs=listing.installs)
+                    analysis.failed = True
+                    analysis.failure_reason = str(exc)
+                    result.broken += 1
+                    self._drop(error_slug(exc))
+                    self.log.warning("broken_apk", sha256=row.sha256,
+                                     reason=str(exc))
+                else:
+                    result.analyzed += 1
+                    self._analyzed.inc()
+                    self.log.debug("analyzed", calls=len(analysis.calls),
+                                   classes=analysis.class_count)
+                result.add(analysis)
             if progress is not None and (position + 1) % 200 == 0:
                 progress(position + 1, len(selected))
+
+        run_span.set_attribute("analyzed", result.analyzed)
+        run_span.set_attribute("broken", result.broken)
+        self.log.info("run_complete", analyzed=result.analyzed,
+                      broken=result.broken, selected=len(selected))
         return result

@@ -9,6 +9,7 @@ the paper.
 from collections import defaultdict
 
 from repro.android.api import WEBVIEW_TRACKED_METHODS
+from repro.obs import trace_span
 from repro.reporting import GroupedSeries, Heatmap, Table
 from repro.sdk.catalog import SdkCategory
 from repro.sdk.labeling import PackageLabel
@@ -55,8 +56,9 @@ class Aggregator:
         self._run()
 
     def _run(self):
-        for analysis in self.result.successful():
-            self._aggregate_app(analysis)
+        with trace_span("label", apps=self.total_analyzed):
+            for analysis in self.result.successful():
+                self._aggregate_app(analysis)
 
     def _aggregate_app(self, analysis):
         uses_wv = analysis.uses_webview

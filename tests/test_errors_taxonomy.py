@@ -1,0 +1,84 @@
+"""Error-taxonomy guarantees the metrics layer depends on.
+
+The drop-reason counters in repro.obs key on slugs derived from the
+exception classes in repro.errors; these tests pin that contract:
+every public exception subclasses ReproError, and the leaf slugs are
+unique and stable across releases.
+"""
+
+import inspect
+
+from repro import errors
+from repro.errors import (
+    ReproError,
+    drop_reason_slugs,
+    error_classes,
+    error_slug,
+    leaf_error_classes,
+)
+
+
+class TestHierarchy:
+    def test_every_public_exception_subclasses_repro_error(self):
+        for name, value in vars(errors).items():
+            if name.startswith("_") or not inspect.isclass(value):
+                continue
+            if issubclass(value, BaseException):
+                assert issubclass(value, ReproError), (
+                    "%s must derive from ReproError" % name
+                )
+
+    def test_error_classes_enumerates_the_module(self):
+        classes = error_classes()
+        assert ReproError in classes
+        assert errors.BrokenApkError in classes
+        assert all(issubclass(cls, ReproError) for cls in classes)
+
+    def test_leaves_have_no_subclasses(self):
+        classes = error_classes()
+        for leaf in leaf_error_classes():
+            assert not any(
+                other is not leaf and issubclass(other, leaf)
+                for other in classes
+            )
+
+
+class TestDropReasonSlugs:
+    def test_slug_derivation(self):
+        assert error_slug(errors.BrokenApkError) == "broken_apk"
+        assert error_slug(errors.AppNotFoundError) == "app_not_found"
+        assert error_slug(errors.DnsError) == "dns"
+        assert error_slug(errors.BrokenApkError("x")) == "broken_apk"
+
+    def test_slugs_unique(self):
+        slugs = [error_slug(cls) for cls in leaf_error_classes()]
+        assert len(slugs) == len(set(slugs))
+
+    def test_slugs_stable(self):
+        # The metric vocabulary: renaming an exception class (or adding a
+        # subclass that demotes a leaf) is a breaking change for dashboards.
+        # Extend this set when adding new leaf exceptions.
+        assert set(drop_reason_slugs()) == {
+            "app_not_found",
+            "broken_apk",
+            "call_graph",
+            "corpus",
+            "crawl",
+            "decompilation",
+            "device",
+            "dex",
+            "dns",
+            "hook",
+            "html",
+            "java_syntax",
+            "js_runtime",
+            "js_syntax",
+            "manifest",
+            "repository",
+        }
+
+    def test_slug_maps_back_to_leaf_class(self):
+        mapping = drop_reason_slugs()
+        assert mapping["broken_apk"] is errors.BrokenApkError
+        assert all(cls in leaf_error_classes()
+                   for cls in mapping.values())

@@ -1,0 +1,171 @@
+"""End-to-end observability: instrumented studies, reports, determinism."""
+
+import json
+
+from repro.core import DynamicStudy, StaticStudy
+from repro.dynamic.apps import webview_iab_profiles
+from repro.netstack.netlog import NetLog, NetLogEventType
+from repro.obs import (
+    APPS_ANALYZED_METRIC,
+    APPS_LISTED_METRIC,
+    DROPS_METRIC,
+    MetricsRegistry,
+    Obs,
+    parse_prometheus_text,
+)
+
+UNIVERSE = 600
+
+
+def _run_study():
+    study = StaticStudy(universe_size=UNIVERSE, seed=7)
+    study.run()
+    return study
+
+
+class TestStaticStudyObservability:
+    def test_run_report_contents(self):
+        study = _run_study()
+        report = study.run_report()
+        assert "Static study run report" in report
+        assert "Throughput" in report
+        assert "apps/sec" in report
+        assert "Drop taxonomy" in report
+        assert "Stage time shares" in report
+        # The report is markdown rendered via reporting/markdown.py.
+        assert "| metric | value |" in report
+
+    def test_per_stage_spans_recorded(self):
+        study = _run_study()
+        run = study.obs.tracer.find("run")
+        assert run is not None
+        names = {span.name for span in run.iter_spans()}
+        for stage in ("list", "filter", "download", "decompile",
+                      "callgraph", "traverse", "analyze_app"):
+            assert stage in names, "missing %r span" % stage
+        assert run.duration > 0
+        # Labeling happens at aggregation time, inside the study's tracer.
+        study.aggregator
+        assert study.obs.tracer.find("label") is not None
+
+    def test_drop_counters_sum_to_listed_minus_analyzed(self):
+        study = _run_study()
+        registry = study.obs.registry
+        listed = registry.value(APPS_LISTED_METRIC)
+        analyzed = registry.value(APPS_ANALYZED_METRIC)
+        drops = registry.label_values(DROPS_METRIC)
+        assert listed == study.result.androzoo_play_apps
+        assert analyzed == study.result.analyzed
+        assert sum(drops.values()) == listed - analyzed
+        assert drops.get(("broken_apk",), 0) == study.result.broken
+
+    def test_truncation_counts_as_drop(self):
+        study = StaticStudy(universe_size=UNIVERSE, seed=7)
+        study.run(max_apps=3)
+        registry = study.obs.registry
+        drops = registry.label_values(DROPS_METRIC)
+        listed = registry.value(APPS_LISTED_METRIC)
+        analyzed = registry.value(APPS_ANALYZED_METRIC)
+        assert drops.get(("not_processed",), 0) > 0
+        assert sum(drops.values()) == listed - analyzed
+
+    def test_registry_round_trips_through_both_exporters(self):
+        study = _run_study()
+        registry = study.obs.registry
+        # JSON exporter round-trip.
+        rebuilt = MetricsRegistry.from_json(registry.to_json())
+        assert rebuilt.as_dict() == registry.as_dict()
+        # Prometheus text exporter round-trip.
+        parsed = parse_prometheus_text(registry.render_prometheus())
+        assert parsed == registry.flat_samples()
+
+    def test_trace_tree_is_json_serializable(self):
+        study = _run_study()
+        tree = study.obs.tracer.to_dict()
+        assert json.loads(json.dumps(tree)) == tree
+
+
+class TestDeterminism:
+    def test_same_seed_means_identical_results_and_metrics(self):
+        first = _run_study()
+        second = _run_study()
+        assert first.usage_shares() == second.usage_shares()
+        assert first.result.funnel_dict() == second.result.funnel_dict()
+        # Identical metric values — including tick-clock stage timings.
+        assert (first.obs.registry.as_dict()
+                == second.obs.registry.as_dict())
+        assert first.run_report() == second.run_report()
+
+    def test_isolated_registries_per_study(self):
+        first = _run_study()
+        before = first.obs.registry.to_json()
+        _run_study()
+        assert first.obs.registry.to_json() == before
+
+
+class TestDynamicStudyObservability:
+    def test_crawl_spans_bridge_netlog_events(self):
+        study = DynamicStudy(seed=7, site_count=4)
+        study.crawl_top_sites(apps=webview_iab_profiles()[:2])
+        crawl = study.obs.tracer.find("crawl")
+        assert crawl is not None
+        visits = [span for span in crawl.iter_spans()
+                  if span.name == "visit"]
+        assert visits
+        bridged = [event for span in visits for event in span.events]
+        assert bridged, "NetLog events should be attached to visit spans"
+        event_names = {event["name"] for event in bridged}
+        assert NetLogEventType.REQUEST_ALIVE.value in event_names
+        assert all("url" in event["attributes"] for event in bridged)
+
+    def test_run_report_counts_visits(self):
+        study = DynamicStudy(seed=7, site_count=4)
+        crawl = study.crawl_top_sites(apps=webview_iab_profiles()[:2])
+        report = study.run_report()
+        assert "Dynamic study run report" in report
+        assert "visits/sec" in report
+        assert study.obs.registry.value(
+            "repro_crawl_visits_total", app="System WebView Shell"
+        ) == 4
+        assert len(crawl.visits) == 8
+
+
+class TestPageLoadMetrics:
+    def test_load_times_observed_per_loader(self):
+        from repro.netstack.pageload import (
+            LoaderKind,
+            PAGELOAD_MS_METRIC,
+            PageLoadModel,
+        )
+        from repro.web.sites import top_sites
+
+        obs = Obs()
+        model = PageLoadModel(seed=3, obs=obs)
+        model.compare(top_sites(1)[0], trials=2)
+        hist = obs.registry.get(PAGELOAD_MS_METRIC)
+        for loader in LoaderKind:
+            assert hist.labels(loader=loader.value).count == 2
+        spans = [s for s in obs.tracer.iter_spans() if s.name == "pageload"]
+        assert len(spans) == 2 * len(LoaderKind)
+
+
+class TestNetLogRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        netlog = NetLog(source_id=3)
+        netlog.log(NetLogEventType.REQUEST_ALIVE, "https://a.com/", 1.0)
+        netlog.log(NetLogEventType.HTTP_TRANSACTION_SEND_REQUEST,
+                   "https://a.com/", 2.5, method="GET", depth=1)
+        data = netlog.to_dict()
+        # The export is JSON-clean (the trace exporter embeds it).
+        assert json.loads(json.dumps(data)) == data
+        rebuilt = NetLog.from_dict(data)
+        assert rebuilt.source_id == 3
+        assert len(rebuilt) == 2
+        assert rebuilt.events[0].event_type == NetLogEventType.REQUEST_ALIVE
+        assert rebuilt.events[1].details == {"method": "GET", "depth": 1}
+        assert rebuilt.to_dict() == data
+
+    def test_from_dict_defaults(self):
+        rebuilt = NetLog.from_dict({"events": []})
+        assert rebuilt.source_id == 0
+        assert len(rebuilt) == 0

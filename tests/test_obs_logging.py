@@ -1,0 +1,121 @@
+"""Tests for structured logging: hygiene, configure(), context binding."""
+
+import io
+import logging
+
+import pytest
+
+import repro  # noqa: F401  — triggers the NullHandler attachment
+from repro.obs import bind_context, configure, format_kv, get_logger
+from repro.obs.logs import LOG_LEVEL_ENV_VAR, _ReproHandler, resolve_level
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    root = logging.getLogger("repro")
+    before_level = root.level
+    yield
+    for handler in list(root.handlers):
+        if isinstance(handler, _ReproHandler):
+            root.removeHandler(handler)
+    root.setLevel(before_level)
+
+
+class TestHygiene:
+    def test_null_handler_attached_on_import(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler)
+                   for h in root.handlers)
+
+    def test_get_logger_roots_under_repro(self):
+        assert get_logger("static.pipeline").name == "repro.static.pipeline"
+        assert get_logger("repro.corpus").name == "repro.corpus"
+        assert get_logger().name == "repro"
+
+
+class TestFormatKv:
+    def test_plain_and_quoted_values(self):
+        rendered = format_kv({"package": "com.app", "reason": "bad zip"})
+        assert rendered == 'package=com.app reason="bad zip"'
+
+
+class TestConfigure:
+    def test_emits_key_value_records(self):
+        stream = io.StringIO()
+        configure(level="DEBUG", stream=stream)
+        get_logger("test").info("download", package="com.app", size=12)
+        line = stream.getvalue().strip()
+        assert "repro.test" in line
+        assert "download package=com.app size=12" in line
+
+    def test_reconfigure_is_idempotent(self):
+        root = logging.getLogger("repro")
+        configure(level="INFO", stream=io.StringIO())
+        configure(level="INFO", stream=io.StringIO())
+        ours = [h for h in root.handlers if isinstance(h, _ReproHandler)]
+        assert len(ours) == 1
+
+    def test_env_var_sets_level(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "WARNING")
+        stream = io.StringIO()
+        configure(stream=stream)
+        logger = get_logger("test")
+        logger.info("quiet")
+        logger.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_explicit_level_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "ERROR")
+        stream = io.StringIO()
+        configure(level="DEBUG", stream=stream)
+        get_logger("test").debug("detail")
+        assert "detail" in stream.getvalue()
+
+    def test_resolve_level_variants(self):
+        assert resolve_level("debug") == logging.DEBUG
+        assert resolve_level("10") == 10
+        assert resolve_level(logging.ERROR) == logging.ERROR
+        with pytest.raises(ValueError):
+            resolve_level("NOT_A_LEVEL")
+
+
+class TestContextBinding:
+    def test_bound_fields_merge_into_records(self):
+        stream = io.StringIO()
+        configure(level="DEBUG", stream=stream)
+        with bind_context(package="com.app", stage="static"):
+            get_logger("test").info("retry", attempt=2)
+        line = stream.getvalue().strip()
+        assert "package=com.app" in line
+        assert "stage=static" in line
+        assert "attempt=2" in line
+
+    def test_inner_binding_shadows_and_restores(self):
+        with bind_context(stage="outer"):
+            with bind_context(stage="inner") as merged:
+                assert merged["stage"] == "inner"
+            stream = io.StringIO()
+            configure(level="DEBUG", stream=stream)
+            get_logger("test").info("evt")
+            assert "stage=outer" in stream.getvalue()
+
+    def test_fields_attached_structurally(self):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        root = logging.getLogger("repro")
+        handler = Capture(level=logging.DEBUG)
+        root.addHandler(handler)
+        root.setLevel(logging.DEBUG)
+        try:
+            with bind_context(package="com.app"):
+                get_logger("test").info("download", size=9)
+        finally:
+            root.removeHandler(handler)
+        (record,) = records
+        assert record.repro_event == "download"
+        assert record.repro_fields == {"package": "com.app", "size": 9}
