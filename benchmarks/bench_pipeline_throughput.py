@@ -2,21 +2,34 @@
 
 Not a paper table — these track the cost of each Figure 1 stage so that
 regressions in the substrates (zip, dex, decompiler, parser, call graph)
-are visible: per-APK analysis latency, decompile+parse throughput, and
-call-graph construction.
+are visible: per-APK analysis latency, decompile+parse throughput,
+call-graph construction, and the sharded execution layer's parallel
+speedup and cache behaviour.
 """
 
 import pytest
 
 from repro.apk.container import read_apk
 from repro.callgraph.builder import build_call_graph
-from repro.corpus import CorpusConfig, build_app_apk
+from repro.corpus import CorpusConfig, build_app_apk, generate_corpus
 from repro.corpus.profiles import build_spec
 from repro.decompiler.jadx import Decompiler
+from repro.exec import AnalysisCache, ExecConfig
 from repro.javasrc.parser import parse_java
+from repro.obs import (
+    EXEC_CRITICAL_PATH_METRIC,
+    EXEC_TASKS_METRIC,
+    EXEC_WORKER_BUSY_METRIC,
+    Obs,
+)
 from repro.playstore.models import AppCategory
 from repro.sdk import build_catalog
-from repro.static_analysis.pipeline import analyze_apk_bytes
+from repro.static_analysis.pipeline import (
+    StaticAnalysisPipeline,
+    analyze_apk_bytes,
+)
+from repro.static_analysis.report import Aggregator, table2, table3
+from repro.util import DEFAULT_SEED
 
 
 @pytest.fixture(scope="module")
@@ -66,3 +79,65 @@ def test_call_graph_construction(benchmark, sample_apk_bytes):
     dex = read_apk(sample_apk_bytes).dex
     graph = benchmark(build_call_graph, dex)
     assert graph.node_count > 0
+
+
+# -- sharded execution --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def exec_corpus():
+    return generate_corpus(
+        CorpusConfig(universe_size=2_000, seed=DEFAULT_SEED), obs=Obs()
+    )
+
+
+def _run_sharded(corpus, max_workers, chunk_size, cache):
+    # A fresh cache per run keeps every task a miss, so worker-busy time
+    # reflects real analysis work rather than cache lookups.
+    obs = Obs()
+    pipeline = StaticAnalysisPipeline(
+        corpus, obs=obs, cache=cache,
+        exec_config=ExecConfig(max_workers=max_workers,
+                               chunk_size=chunk_size, backend="inline"),
+    )
+    return obs, pipeline.run()
+
+
+def test_parallel_speedup_at_four_workers(exec_corpus):
+    serial_obs, serial = _run_sharded(exec_corpus, 1, 8, AnalysisCache())
+    sharded_obs, sharded = _run_sharded(exec_corpus, 4, 4, AnalysisCache())
+
+    busy = sum(
+        sharded_obs.registry.label_values(EXEC_WORKER_BUSY_METRIC).values()
+    )
+    critical = sharded_obs.registry.value(EXEC_CRITICAL_PATH_METRIC)
+    assert critical > 0
+    speedup = busy / critical
+    print()
+    print("parallel speedup at 4 workers: %.2fx "
+          "(busy %g / critical path %g, %d apps)"
+          % (speedup, busy, critical, sharded.analyzed + sharded.broken))
+    assert speedup >= 2.0
+
+    # Same seed, different worker counts: byte-identical artifacts.
+    assert table2(serial).render() == table2(sharded).render()
+    assert table3(Aggregator(serial)).render() == (
+        table3(Aggregator(sharded)).render()
+    )
+
+
+def test_result_cache_absorbs_repeat_runs(exec_corpus):
+    # Both pipelines default to the corpus-attached shared cache.
+    cold_obs, cold = _run_sharded(exec_corpus, 4, 4, None)
+    warm_obs, warm = _run_sharded(exec_corpus, 4, 4, None)
+
+    cold_tasks = cold_obs.registry.label_values(EXEC_TASKS_METRIC)
+    warm_tasks = warm_obs.registry.label_values(EXEC_TASKS_METRIC)
+    assert cold_tasks.get(("cached",), 0) == 0
+    # Every app is served from the cache on the repeat run; no worker
+    # does any analysis work at all.
+    assert set(warm_tasks) == {("cached",)}
+    assert sum(
+        warm_obs.registry.label_values(EXEC_WORKER_BUSY_METRIC).values()
+    ) == 0
+    assert table2(warm).render() == table2(cold).render()

@@ -61,11 +61,19 @@ class Snapshot:
                 ordered.append(row.package)
         return ordered
 
-    def latest_version(self, package):
-        """The most recent archived row for ``package`` (None if absent)."""
+    def latest_version(self, package, market=None):
+        """The most recent archived row for ``package`` (None if absent).
+
+        With ``market=``, only rows archived from that market are
+        considered — the pipeline restricts to the Play market so a
+        newer sideloaded/alternative-market archive of the same package
+        can never win the version pick.
+        """
         best = None
         for row in self.rows:
             if row.package != package:
+                continue
+            if market is not None and market not in row.markets:
                 continue
             if best is None or (row.version_code, row.dex_date) > (
                 best.version_code, best.dex_date
@@ -107,10 +115,17 @@ class AndroZooRepository:
         return row
 
     def snapshot(self, date=None):
-        """Return a :class:`Snapshot` of all rows archived so far."""
+        """Return a dated :class:`Snapshot`: rows with ``dex_date <= date``.
+
+        A snapshot is a historical view of the index — rows archived
+        after the snapshot date must not leak into its listing.
+        """
         if isinstance(date, str):
             date = datetime.date.fromisoformat(date)
-        return Snapshot(date or datetime.date(2023, 1, 13), list(self._rows))
+        if date is None:
+            date = datetime.date(2023, 1, 13)
+        rows = [row for row in self._rows if row.dex_date <= date]
+        return Snapshot(date, rows)
 
     def download(self, sha256):
         """Fetch APK bytes by SHA-256 (resolving lazy payloads)."""

@@ -6,6 +6,7 @@ from repro.dynamic.apps import real_app_profiles, webview_iab_profiles
 from repro.dynamic.crawler import AdbCrawler
 from repro.dynamic.manual_study import ManualStudy
 from repro.dynamic.measurements import IabMeasurementHarness
+from repro.exec import ExecConfig
 from repro.obs import Obs
 from repro.reporting import Table
 from repro.static_analysis.pipeline import (
@@ -18,10 +19,18 @@ from repro.web.sites import top_sites
 
 
 class StaticStudy:
-    """The ~146.5K-app static measurement study, at configurable scale."""
+    """The ~146.5K-app static measurement study, at configurable scale.
+
+    ``max_workers`` / ``chunk_size`` / ``exec_backend`` shard the per-app
+    analysis across a :mod:`repro.exec` worker pool; left at None they
+    fall back to the ``REPRO_MAX_WORKERS`` / ``REPRO_CHUNK_SIZE`` /
+    ``REPRO_EXEC_BACKEND`` environment. Results are byte-identical for
+    any worker count (see DESIGN.md §Execution).
+    """
 
     def __init__(self, universe_size=20_000, seed=DEFAULT_SEED, corpus=None,
-                 options=None, obs=None):
+                 options=None, obs=None, max_workers=None, chunk_size=None,
+                 exec_backend=None):
         #: Per-study observability bundle (registry + tracer + clock).
         self.obs = obs if obs is not None else Obs()
         if corpus is None:
@@ -31,8 +40,12 @@ class StaticStudy:
             )
         self.corpus = corpus
         self.options = options or PipelineOptions()
+        self.exec_config = ExecConfig(max_workers=max_workers,
+                                      chunk_size=chunk_size,
+                                      backend=exec_backend)
         self.pipeline = StaticAnalysisPipeline(corpus, options=self.options,
-                                               obs=self.obs)
+                                               obs=self.obs,
+                                               exec_config=self.exec_config)
         self.result = None
         self._aggregator = None
 

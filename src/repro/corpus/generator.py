@@ -12,6 +12,7 @@ from repro.androzoo.repository import AndroZooRepository
 from repro.corpus.appgen import build_app_apk
 from repro.corpus.config import CorpusConfig
 from repro.corpus.profiles import generate_specs
+from repro.exec.cache import AnalysisCache
 from repro.obs import default_obs, get_logger
 from repro.playstore.models import AppListing
 from repro.playstore.store import PlayStore
@@ -30,6 +31,10 @@ class Corpus:
         self.specs = specs
         self.store = store
         self.repository = repository
+        #: Shared per-corpus analysis-result cache (see repro.exec):
+        #: every pipeline run over this corpus reuses prior per-APK
+        #: outcomes keyed by (sha256, pipeline options).
+        self.analysis_cache = AnalysisCache()
         self._by_package = {spec.package: spec for spec in specs}
 
     def spec_for(self, package):

@@ -1,0 +1,66 @@
+"""repro.exec — parallel execution for the corpus-level studies.
+
+The paper's static pipeline covers ~146.5K APKs; at that scale per-app
+analysis must be batched across workers (the same move DroidMeter and
+Rapoport et al. made). This package provides the pieces the pipelines
+shard themselves with:
+
+- **configuration** (:mod:`repro.exec.config`): :class:`ExecConfig` reads
+  ``REPRO_MAX_WORKERS`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_EXEC_BACKEND``
+  and resolves the backend (``process`` when more than one worker is
+  requested, ``inline`` otherwise).
+- **worker pools** (:mod:`repro.exec.pool`): a process-backed pool with a
+  bounded in-flight chunk window, plus an in-process deterministic
+  fallback used for single-worker runs, for tests, and wherever process
+  pools are unavailable. Both return results in input order.
+- **result cache** (:mod:`repro.exec.cache`): :class:`AnalysisCache`, a
+  SHA-256-keyed cache of per-APK outcomes so repeated runs and ablation
+  benchmarks skip re-decompilation.
+- **schedule accounting** (:mod:`repro.exec.schedule`): a deterministic
+  greedy earliest-free-worker simulation over measured task costs; the
+  run report's parallel-speedup figure (work / critical path) comes from
+  it, independent of real scheduling jitter.
+
+Determinism contract: results are aggregated in submission order and the
+per-task work is a pure function of the APK bytes, so a same-seed study
+produces byte-identical tables for any worker count or backend.
+"""
+
+from repro.exec.cache import AnalysisCache
+from repro.exec.config import (
+    BACKEND_AUTO,
+    BACKEND_ENV_VAR,
+    BACKEND_INLINE,
+    BACKEND_PROCESS,
+    CHUNK_SIZE_ENV_VAR,
+    ExecConfig,
+    ExecConfigError,
+    MAX_WORKERS_ENV_VAR,
+)
+from repro.exec.pool import (
+    InlinePool,
+    ProcessPool,
+    WorkerPool,
+    make_pool,
+    process_backend_available,
+)
+from repro.exec.schedule import Schedule, simulate_schedule
+
+__all__ = [
+    "AnalysisCache",
+    "BACKEND_AUTO",
+    "BACKEND_ENV_VAR",
+    "BACKEND_INLINE",
+    "BACKEND_PROCESS",
+    "CHUNK_SIZE_ENV_VAR",
+    "ExecConfig",
+    "ExecConfigError",
+    "InlinePool",
+    "MAX_WORKERS_ENV_VAR",
+    "ProcessPool",
+    "Schedule",
+    "WorkerPool",
+    "make_pool",
+    "process_backend_available",
+    "simulate_schedule",
+]

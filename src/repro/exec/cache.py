@@ -1,0 +1,55 @@
+"""SHA-256-keyed cache of per-APK analysis outcomes.
+
+An APK's analysis is a pure function of its bytes and the pipeline's
+feature switches, so outcomes are cached under ``(sha256, fingerprint)``
+where the fingerprint encodes the :class:`PipelineOptions` in effect.
+Repeated runs over the same corpus — and ablation benchmarks that rerun
+one configuration — skip decompilation, call-graph construction and
+traversal entirely; runs with different options never collide because
+their fingerprints differ.
+"""
+
+
+class AnalysisCache:
+    """In-memory analysis-result cache with hit/miss accounting."""
+
+    def __init__(self):
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(sha256, fingerprint):
+        return (sha256, tuple(fingerprint))
+
+    def get(self, sha256, fingerprint=()):
+        """The cached outcome for one APK + options combo, or None."""
+        entry = self._entries.get(self._key(sha256, fingerprint))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, sha256, fingerprint, value):
+        self._entries[self._key(sha256, fingerprint)] = value
+        return value
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self):
+        self._entries = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __repr__(self):
+        return "AnalysisCache(%d entries, %d hits, %d misses)" % (
+            len(self._entries), self.hits, self.misses
+        )

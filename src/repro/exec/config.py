@@ -1,0 +1,84 @@
+"""Execution-layer configuration, resolved from arguments or environment.
+
+``REPRO_MAX_WORKERS`` and ``REPRO_CHUNK_SIZE`` size the pool; the CI
+matrix sets the former to exercise the parallel path on every push.
+``REPRO_EXEC_BACKEND`` can pin a backend explicitly — ``auto`` (the
+default) picks processes only when more than one worker is requested.
+"""
+
+import os
+
+MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+CHUNK_SIZE_ENV_VAR = "REPRO_CHUNK_SIZE"
+BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+
+BACKEND_AUTO = "auto"
+BACKEND_INLINE = "inline"
+BACKEND_PROCESS = "process"
+_BACKENDS = (BACKEND_AUTO, BACKEND_INLINE, BACKEND_PROCESS)
+
+DEFAULT_CHUNK_SIZE = 8
+
+
+class ExecConfigError(ValueError):
+    """Raised for invalid execution-layer configuration."""
+
+
+def _env_int(name, default):
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExecConfigError("%s must be an integer, got %r" % (name, raw))
+
+
+class ExecConfig:
+    """How a study shards its per-app work.
+
+    ``max_workers`` bounds concurrency, ``chunk_size`` is how many tasks
+    ride in one worker dispatch, and the in-flight window (submitted but
+    unfinished chunks) is bounded at ``2 * max_workers`` so arbitrarily
+    large corpora never pile up in the executor's queue.
+    """
+
+    def __init__(self, max_workers=None, chunk_size=None, backend=None):
+        if max_workers is None:
+            max_workers = _env_int(MAX_WORKERS_ENV_VAR, 1)
+        if chunk_size is None:
+            chunk_size = _env_int(CHUNK_SIZE_ENV_VAR, DEFAULT_CHUNK_SIZE)
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, BACKEND_AUTO)
+        if max_workers < 1:
+            raise ExecConfigError("max_workers must be >= 1, got %d"
+                                  % max_workers)
+        if chunk_size < 1:
+            raise ExecConfigError("chunk_size must be >= 1, got %d"
+                                  % chunk_size)
+        if backend not in _BACKENDS:
+            raise ExecConfigError(
+                "backend must be one of %s, got %r" % (_BACKENDS, backend)
+            )
+        self.max_workers = int(max_workers)
+        self.chunk_size = int(chunk_size)
+        self.backend = backend
+
+    @property
+    def resolved_backend(self):
+        """The concrete backend ``auto`` resolves to for this config."""
+        if self.backend != BACKEND_AUTO:
+            return self.backend
+        if self.max_workers > 1:
+            return BACKEND_PROCESS
+        return BACKEND_INLINE
+
+    @property
+    def window(self):
+        """Maximum chunks submitted-but-unfinished at any moment."""
+        return 2 * self.max_workers
+
+    def __repr__(self):
+        return "ExecConfig(workers=%d, chunk=%d, backend=%s)" % (
+            self.max_workers, self.chunk_size, self.backend
+        )

@@ -1,0 +1,119 @@
+"""Worker pools: process-backed fan-out with an inline fallback.
+
+Both pools expose one method — ``map(items, fn)`` — and both return
+results **in input order** regardless of completion order, which is what
+lets the pipeline aggregate deterministically.
+
+:class:`ProcessPool` ships chunks of tasks to a
+``concurrent.futures.ProcessPoolExecutor`` (fork start method where
+available, so forked workers inherit loaded modules and the parent's
+hash seed) and keeps at most ``config.window`` chunks in flight, so
+memory stays bounded on arbitrarily large corpora. ``fn`` and the items
+must be picklable.
+
+:class:`InlinePool` runs tasks in the calling process, in order — the
+deterministic fallback for single-worker runs, for tests, and for
+platforms where process pools are unavailable (:func:`make_pool` falls
+back automatically and logs a warning).
+"""
+
+import concurrent.futures
+import multiprocessing
+
+from repro.exec.config import BACKEND_INLINE, BACKEND_PROCESS
+
+
+class WorkerPool:
+    """Interface: map ``fn`` over ``items``, results in input order."""
+
+    name = None
+
+    def __init__(self, config):
+        self.config = config
+
+    def map(self, items, fn):
+        raise NotImplementedError
+
+
+class InlinePool(WorkerPool):
+    """In-process execution, strictly in input order."""
+
+    name = BACKEND_INLINE
+
+    def map(self, items, fn):
+        return [fn(item) for item in items]
+
+
+def _run_chunk(fn, chunk):
+    """Process-pool entry point: apply ``fn`` to one chunk of tasks."""
+    return [fn(item) for item in chunk]
+
+
+def _pool_context():
+    """Prefer fork: workers inherit modules and the parent's hash seed."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ProcessPool(WorkerPool):
+    """Chunked fan-out over worker processes with a bounded window."""
+
+    name = BACKEND_PROCESS
+
+    def map(self, items, fn):
+        items = list(items)
+        results = [None] * len(items)
+        if not items:
+            return results
+        size = self.config.chunk_size
+        chunks = [(start, items[start:start + size])
+                  for start in range(0, len(items), size)]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.config.max_workers, mp_context=_pool_context()
+        ) as executor:
+            pending = {}
+            position = 0
+
+            def submit_next():
+                start, chunk = chunks[position]
+                pending[executor.submit(_run_chunk, fn, chunk)] = start
+
+            while position < len(chunks) and len(pending) < self.config.window:
+                submit_next()
+                position += 1
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    start = pending.pop(future)
+                    for offset, value in enumerate(future.result()):
+                        results[start + offset] = value
+                    if position < len(chunks):
+                        submit_next()
+                        position += 1
+        return results
+
+
+def process_backend_available():
+    """True when this platform can actually run a process pool."""
+    try:
+        # Raises ImportError on platforms without a working sem_open.
+        import multiprocessing.synchronize  # noqa: F401
+    except (ImportError, OSError):
+        return False
+    return True
+
+
+def make_pool(config, log=None):
+    """Build the pool for ``config``, falling back to inline if needed."""
+    backend = config.resolved_backend
+    if backend == BACKEND_PROCESS and not process_backend_available():
+        if log is not None:
+            log.warning("process_backend_unavailable",
+                        fallback=BACKEND_INLINE)
+        backend = BACKEND_INLINE
+    if backend == BACKEND_PROCESS:
+        return ProcessPool(config)
+    return InlinePool(config)

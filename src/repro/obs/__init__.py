@@ -44,6 +44,15 @@ from repro.obs.report import (
     APPS_ANALYZED_METRIC,
     APPS_LISTED_METRIC,
     DROPS_METRIC,
+    EXEC_BACKEND_METRIC,
+    EXEC_CACHE_HITS_METRIC,
+    EXEC_CACHE_MISSES_METRIC,
+    EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CRITICAL_PATH_METRIC,
+    EXEC_QUEUE_DEPTH_METRIC,
+    EXEC_TASKS_METRIC,
+    EXEC_WORKER_BUSY_METRIC,
+    EXEC_WORKERS_METRIC,
     STAGE_CALLS_METRIC,
     STAGE_ERRORS_METRIC,
     STAGE_SECONDS_METRIC,
@@ -144,6 +153,15 @@ __all__ = [
     "APPS_LISTED_METRIC",
     "Counter",
     "DROPS_METRIC",
+    "EXEC_BACKEND_METRIC",
+    "EXEC_CACHE_HITS_METRIC",
+    "EXEC_CACHE_MISSES_METRIC",
+    "EXEC_CHUNK_SIZE_METRIC",
+    "EXEC_CRITICAL_PATH_METRIC",
+    "EXEC_QUEUE_DEPTH_METRIC",
+    "EXEC_TASKS_METRIC",
+    "EXEC_WORKER_BUSY_METRIC",
+    "EXEC_WORKERS_METRIC",
     "Gauge",
     "Histogram",
     "LOG_LEVEL_ENV_VAR",

@@ -20,6 +20,17 @@ APPS_LISTED_METRIC = "repro_pipeline_apps_listed_total"
 APPS_ANALYZED_METRIC = "repro_pipeline_apps_analyzed_total"
 DROPS_METRIC = "repro_pipeline_drops_total"
 
+#: Parallel-execution metrics (repro.exec), fed by the sharded pipeline.
+EXEC_BACKEND_METRIC = "repro_exec_backend_info"
+EXEC_WORKERS_METRIC = "repro_exec_workers"
+EXEC_CHUNK_SIZE_METRIC = "repro_exec_chunk_size"
+EXEC_TASKS_METRIC = "repro_exec_tasks_total"
+EXEC_QUEUE_DEPTH_METRIC = "repro_exec_queue_depth_peak"
+EXEC_WORKER_BUSY_METRIC = "repro_exec_worker_busy_seconds_total"
+EXEC_CRITICAL_PATH_METRIC = "repro_exec_critical_path_seconds"
+EXEC_CACHE_HITS_METRIC = "repro_exec_cache_hits_total"
+EXEC_CACHE_MISSES_METRIC = "repro_exec_cache_misses_total"
+
 
 def elapsed_for(tracer, root_span):
     """Total duration of every span named ``root_span`` in the forest."""
@@ -38,6 +49,9 @@ def render_run_report(obs, title, items_label="apps", items_count=0,
     them "clock s" either way; see DESIGN.md §Observability).
     """
     sections = [_throughput_table(obs, items_label, items_count, root_span)]
+    execution = _exec_table(obs)
+    if execution is not None:
+        sections.append(execution)
     drops = _drop_table(obs, drop_metric)
     if drops is not None:
         sections.append(drops)
@@ -56,6 +70,35 @@ def _throughput_table(obs, items_label, items_count, root_span):
     table.add_row("elapsed (clock s)", "%.3f" % elapsed)
     table.add_row("%s/sec" % items_label, "%.1f" % rate)
     return table
+
+def _exec_table(obs):
+    """Execution-layer summary, rendered only for sharded runs."""
+    registry = obs.registry
+    if registry.get(EXEC_WORKERS_METRIC) is None:
+        return None
+    table = Table(["metric", "value"], title="Execution")
+    backends = registry.label_values(EXEC_BACKEND_METRIC)
+    if backends:
+        table.add_row("backend", "/".join(labels[0] for labels in backends))
+    table.add_row("workers", int(registry.value(EXEC_WORKERS_METRIC)))
+    table.add_row("chunk size", int(registry.value(EXEC_CHUNK_SIZE_METRIC)))
+    for (status,), count in sorted(
+        registry.label_values(EXEC_TASKS_METRIC).items()
+    ):
+        table.add_row("tasks %s" % status, int(count))
+    table.add_row("cache hits", int(registry.value(EXEC_CACHE_HITS_METRIC)))
+    table.add_row("cache misses",
+                  int(registry.value(EXEC_CACHE_MISSES_METRIC)))
+    table.add_row("queue depth peak",
+                  int(registry.value(EXEC_QUEUE_DEPTH_METRIC)))
+    busy = sum(registry.label_values(EXEC_WORKER_BUSY_METRIC).values())
+    critical = registry.value(EXEC_CRITICAL_PATH_METRIC)
+    table.add_row("worker busy (clock s)", "%.3f" % busy)
+    table.add_row("critical path (clock s)", "%.3f" % critical)
+    if critical:
+        table.add_row("parallel speedup", "%.2fx" % (busy / critical))
+    return table
+
 
 def _drop_table(obs, drop_metric):
     drops = obs.registry.label_values(drop_metric)

@@ -83,6 +83,32 @@ class Span:
             out["children"] = [child.to_dict() for child in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a span tree exported by :meth:`to_dict`.
+
+        The parallel pipeline uses this to replay spans recorded inside
+        worker processes into the study's tracer, so a sharded run's
+        trace tree looks the same as a serial one.
+        """
+        span = cls(data["name"], data.get("attributes"),
+                   start=data.get("start", 0.0))
+        span.end = data.get("end")
+        span.status = data.get("status", cls.OK)
+        span.error = data.get("error")
+        span.events = [
+            {
+                "name": event["name"],
+                "time": event.get("time"),
+                "attributes": dict(event.get("attributes", {})),
+            }
+            for event in data.get("events", ())
+        ]
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return span
+
     def iter_spans(self):
         """Yield this span and every descendant, depth first."""
         yield self

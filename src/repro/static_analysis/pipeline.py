@@ -9,22 +9,53 @@ reachability and deep-link-exclusion flags.
 AndroZoo snapshot, fetch Play metadata, apply the 100K-downloads and
 updated-after-2021 filters, download APKs, and aggregate a
 :class:`~repro.static_analysis.results.StudyResult`.
+
+Per-app analysis is sharded across a :mod:`repro.exec` worker pool —
+process-backed when ``max_workers > 1``, in-process otherwise. Per-app
+failures (a broken APK, a failed download, any :class:`ReproError` from
+analysis) are isolated into the drop taxonomy instead of aborting the
+run, results are aggregated in selection order so same-seed studies are
+byte-identical at any worker count, and outcomes are memoized in a
+SHA-256-keyed :class:`~repro.exec.AnalysisCache`.
 """
+
+import functools
+import time
 
 from repro.android import api
 from repro.callgraph.builder import build_call_graph
 from repro.callgraph.entrypoints import entry_point_methods
 from repro.decompiler.jadx import Decompiler
 from repro.dex.model import MethodRef
-from repro.errors import BrokenApkError, error_slug
+from repro.errors import ReproError, RepositoryError, error_slug
+from repro.exec import (
+    AnalysisCache,
+    BACKEND_PROCESS,
+    ExecConfig,
+    make_pool,
+    simulate_schedule,
+)
 from repro.obs import (
     APPS_ANALYZED_METRIC,
     APPS_LISTED_METRIC,
     DROPS_METRIC,
+    EXEC_BACKEND_METRIC,
+    EXEC_CACHE_HITS_METRIC,
+    EXEC_CACHE_MISSES_METRIC,
+    EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CRITICAL_PATH_METRIC,
+    EXEC_QUEUE_DEPTH_METRIC,
+    EXEC_TASKS_METRIC,
+    EXEC_WORKER_BUSY_METRIC,
+    EXEC_WORKERS_METRIC,
+    Span,
+    TickClock,
+    Tracer,
     bind_context,
     default_obs,
     get_logger,
     trace_span,
+    use_tracer,
 )
 from repro.sdk.labeling import SdkLabeler
 from repro.static_analysis.deeplinks import (
@@ -55,6 +86,11 @@ class PipelineOptions:
         self.entry_point_traversal = entry_point_traversal
         self.deep_link_filter = deep_link_filter
         self.subclass_detection = subclass_detection
+
+    def cache_key(self):
+        """Fingerprint for the analysis-result cache (:mod:`repro.exec`)."""
+        return (self.entry_point_traversal, self.deep_link_filter,
+                self.subclass_detection)
 
 
 def _is_webview_call(ref, subclasses):
@@ -143,15 +179,130 @@ DROP_BELOW_MIN_INSTALLS = "below_min_installs"
 DROP_UPDATED_BEFORE_CUTOFF = "updated_before_cutoff"
 
 
+class AnalysisTask:
+    """One unit of per-app work shipped to a worker."""
+
+    __slots__ = ("position", "sha256", "package", "data", "category",
+                 "installs")
+
+    def __init__(self, position, sha256, package, data, category, installs):
+        self.position = position
+        self.sha256 = sha256
+        self.package = package
+        self.data = data
+        self.category = category
+        self.installs = installs
+
+
+class AnalysisOutcome:
+    """Per-app execution outcome, aggregated in selection order.
+
+    ``error`` is a drop-taxonomy slug (None on success); ``spans`` holds
+    the worker's exported span tree for process-backed runs so the study
+    tracer can replay it; ``cacheable`` is False for download failures,
+    which must be retried on the next run.
+    """
+
+    __slots__ = ("position", "sha256", "package", "analysis", "error",
+                 "message", "cost", "spans", "span", "worker", "cached",
+                 "cacheable")
+
+    def __init__(self, position, sha256, package, analysis, error=None,
+                 message=None):
+        self.position = position
+        self.sha256 = sha256
+        self.package = package
+        self.analysis = analysis
+        self.error = error
+        self.message = message
+        self.cost = 0.0
+        self.spans = None
+        self.span = None
+        self.worker = None
+        self.cached = False
+        self.cacheable = True
+
+
+class _CachedEntry:
+    """What the analysis cache stores for one (sha256, options) key."""
+
+    __slots__ = ("analysis", "error", "message")
+
+    def __init__(self, analysis, error, message):
+        self.analysis = analysis
+        self.error = error
+        self.message = message
+
+
+class _WorkerSettings:
+    """Picklable knobs shipped to every worker invocation."""
+
+    __slots__ = ("options", "real_clock")
+
+    def __init__(self, options, real_clock=False):
+        self.options = options
+        self.real_clock = real_clock
+
+
+def _execute_analysis(options, task, decompiler=None):
+    """Run one task with per-app fault isolation.
+
+    Any :class:`ReproError` (broken APK, decompilation failure, ...)
+    becomes a failed outcome carrying its drop slug; only non-library
+    exceptions — genuine bugs — propagate and abort the run.
+    """
+    try:
+        analysis = analyze_apk_bytes(
+            task.data,
+            options=options,
+            decompiler=decompiler,
+            category=task.category,
+            installs=task.installs,
+        )
+    except ReproError as exc:
+        analysis = AppAnalysis(task.package, category=task.category,
+                               installs=task.installs)
+        analysis.failed = True
+        analysis.failure_reason = str(exc)
+        return AnalysisOutcome(task.position, task.sha256, task.package,
+                               analysis, error_slug(exc), str(exc))
+    return AnalysisOutcome(task.position, task.sha256, task.package,
+                           analysis)
+
+
+def _run_analysis_task(settings, task):
+    """Process-pool entry point: analyze one app in a worker.
+
+    The worker traces into its own tracer (a fresh deterministic
+    TickClock unless the study injected a real clock) and exports the
+    span tree in the outcome, so the parent can replay it and per-app
+    stage timings survive the process boundary.
+    """
+    clock = time.perf_counter if settings.real_clock else TickClock()
+    tracer = Tracer(clock=clock)
+    with use_tracer(tracer), bind_context(package=task.package):
+        with tracer.span("analyze_app", package=task.package) as root:
+            outcome = _execute_analysis(settings.options, task)
+    outcome.cost = root.duration
+    outcome.spans = [root.to_dict()]
+    return outcome
+
+
 class StaticAnalysisPipeline:
     """The corpus-level study runner (Figure 1 steps 1-2 + aggregation)."""
 
-    def __init__(self, corpus, options=None, labeler=None, obs=None):
+    def __init__(self, corpus, options=None, labeler=None, obs=None,
+                 exec_config=None, cache=None):
         self.corpus = corpus
         self.options = options or PipelineOptions()
         self.labeler = labeler or SdkLabeler(corpus.catalog)
         self.decompiler = Decompiler()
         self.obs = obs if obs is not None else default_obs()
+        self.exec_config = (exec_config if exec_config is not None
+                            else ExecConfig())
+        if cache is None:
+            cache = getattr(corpus, "analysis_cache", None)
+        self.cache = cache if cache is not None else AnalysisCache()
         self.log = get_logger("static.pipeline")
         self._drops = self.obs.counter(
             DROPS_METRIC,
@@ -164,6 +315,14 @@ class StaticAnalysisPipeline:
         )
         self._analyzed = self.obs.counter(
             APPS_ANALYZED_METRIC, "Apps successfully analyzed.",
+        )
+        self._cache_hits = self.obs.counter(
+            EXEC_CACHE_HITS_METRIC,
+            "Per-app analysis outcomes served from the result cache.",
+        )
+        self._cache_misses = self.obs.counter(
+            EXEC_CACHE_MISSES_METRIC,
+            "Per-app analysis outcomes that required real work.",
         )
 
     def _drop(self, reason, count=1):
@@ -211,7 +370,13 @@ class StaticAnalysisPipeline:
                     self._drop(DROP_UPDATED_BEFORE_CUTOFF)
                     continue
                 funnel["updated_after_2021"] += 1
-                row = snapshot.latest_version(package)
+                # Packages were listed from the Play market; restrict the
+                # version pick the same way so a newer non-Play archive of
+                # the same package can never be downloaded instead.
+                row = snapshot.latest_version(package, market=PLAY_MARKET)
+                if row is None:
+                    self._drop(error_slug(RepositoryError))
+                    continue
                 selected.append((row, listing))
         self.log.info("funnel_selected", **funnel)
         return selected, funnel
@@ -236,40 +401,185 @@ class StaticAnalysisPipeline:
         result.popular = funnel["with_100k_downloads"]
         result.selected = funnel["updated_after_2021"]
 
-        for position, (row, listing) in enumerate(selected):
-            with bind_context(package=row.package), \
-                    self.obs.span("analyze_app", package=row.package):
-                with self.obs.span("download"):
-                    data = self.corpus.repository.download(row.sha256)
-                try:
-                    analysis = analyze_apk_bytes(
-                        data,
-                        options=self.options,
-                        decompiler=self.decompiler,
-                        category=listing.category,
-                        installs=listing.installs,
-                    )
-                except BrokenApkError as exc:
-                    analysis = AppAnalysis(row.package,
-                                           category=listing.category,
-                                           installs=listing.installs)
-                    analysis.failed = True
-                    analysis.failure_reason = str(exc)
-                    result.broken += 1
-                    self._drop(error_slug(exc))
-                    self.log.warning("broken_apk", sha256=row.sha256,
-                                     reason=str(exc))
-                else:
-                    result.analyzed += 1
-                    self._analyzed.inc()
-                    self.log.debug("analyzed", calls=len(analysis.calls),
-                                   classes=analysis.class_count)
-                result.add(analysis)
+        outcomes = self._execute(selected)
+        fingerprint = self.options.cache_key()
+        for position, outcome in enumerate(outcomes):
+            self._aggregate(result, outcome, fingerprint)
             if progress is not None and (position + 1) % 200 == 0:
                 progress(position + 1, len(selected))
 
         run_span.set_attribute("analyzed", result.analyzed)
         run_span.set_attribute("broken", result.broken)
+        run_span.set_attribute("workers", self.exec_config.max_workers)
         self.log.info("run_complete", analyzed=result.analyzed,
-                      broken=result.broken, selected=len(selected))
+                      broken=result.broken, selected=len(selected),
+                      workers=self.exec_config.max_workers)
         return result
+
+    # -- sharded execution ---------------------------------------------------
+
+    def _execute(self, selected):
+        """Steps (3)-(5) for every selected app, sharded over workers.
+
+        Returns one :class:`AnalysisOutcome` per selected row, in
+        selection order; cache hits and download failures short-circuit
+        without touching the pool.
+        """
+        fingerprint = self.options.cache_key()
+        outcomes = [None] * len(selected)
+        tasks = []
+        for position, (row, listing) in enumerate(selected):
+            entry = self.cache.get(row.sha256, fingerprint)
+            if entry is not None:
+                self._cache_hits.inc()
+                outcome = AnalysisOutcome(position, row.sha256, row.package,
+                                          entry.analysis, entry.error,
+                                          entry.message)
+                outcome.cached = True
+                outcome.cacheable = False
+                outcomes[position] = outcome
+                continue
+            self._cache_misses.inc()
+            with bind_context(package=row.package), \
+                    self.obs.span("download", package=row.package):
+                try:
+                    data = self.corpus.repository.download(row.sha256)
+                except RepositoryError as exc:
+                    outcomes[position] = self._download_failure(
+                        position, row, listing, exc
+                    )
+                    continue
+            tasks.append(AnalysisTask(position, row.sha256, row.package,
+                                      data, listing.category,
+                                      listing.installs))
+
+        executed = self._run_tasks(tasks)
+        schedule = simulate_schedule([o.cost for o in executed],
+                                     self.exec_config.max_workers,
+                                     self.exec_config.chunk_size)
+        for outcome, worker in zip(executed, schedule.assignments):
+            outcome.worker = worker
+            if outcome.span is not None:
+                outcome.span.set_attribute("worker", "w%d" % worker)
+            outcomes[outcome.position] = outcome
+        self._record_exec_metrics(outcomes, len(tasks), schedule)
+        return outcomes
+
+    def _run_tasks(self, tasks):
+        """Map the analysis over the configured pool, in task order."""
+        pool = make_pool(self.exec_config, log=self.log)
+        settings = _WorkerSettings(
+            self.options,
+            real_clock=not isinstance(self.obs.clock, TickClock),
+        )
+        with self.obs.span("execute", backend=pool.name,
+                           workers=self.exec_config.max_workers,
+                           tasks=len(tasks)):
+            if pool.name == BACKEND_PROCESS:
+                fn = functools.partial(_run_analysis_task, settings)
+            else:
+                fn = functools.partial(self._inline_task, settings)
+            return pool.map(tasks, fn)
+
+    def _inline_task(self, settings, task):
+        """In-process execution path: trace into the study tracer."""
+        with bind_context(package=task.package), \
+                self.obs.span("analyze_app", package=task.package) as span:
+            outcome = _execute_analysis(settings.options, task,
+                                        decompiler=self.decompiler)
+        outcome.cost = span.duration
+        outcome.span = span
+        return outcome
+
+    def _download_failure(self, position, row, listing, exc):
+        """Fault isolation for step (2b): a failed download is one drop."""
+        analysis = AppAnalysis(row.package, category=listing.category,
+                               installs=listing.installs)
+        analysis.failed = True
+        analysis.failure_reason = str(exc)
+        outcome = AnalysisOutcome(position, row.sha256, row.package,
+                                  analysis, error_slug(exc), str(exc))
+        outcome.cacheable = False  # downloads are retried next run
+        return outcome
+
+    def _aggregate(self, result, outcome, fingerprint):
+        """Fold one outcome into the study result (selection order)."""
+        with bind_context(package=outcome.package):
+            if outcome.spans:
+                self._replay_worker_spans(outcome)
+            if outcome.error is not None:
+                result.broken += 1
+                self._drop(outcome.error)
+                self.log.warning("app_failed", sha256=outcome.sha256,
+                                 reason=outcome.error,
+                                 detail=outcome.message,
+                                 cached=outcome.cached)
+            else:
+                result.analyzed += 1
+                self._analyzed.inc()
+                self.log.debug("analyzed",
+                               calls=len(outcome.analysis.calls),
+                               classes=outcome.analysis.class_count,
+                               cached=outcome.cached)
+            result.add(outcome.analysis)
+            if outcome.cacheable and not outcome.cached:
+                self.cache.put(outcome.sha256, fingerprint,
+                               _CachedEntry(outcome.analysis, outcome.error,
+                                            outcome.message))
+
+    def _replay_worker_spans(self, outcome):
+        """Attach a worker's exported span tree to the study tracer."""
+        tracer = self.obs.tracer
+        for data in outcome.spans:
+            root = Span.from_dict(data)
+            if outcome.worker is not None:
+                root.set_attribute("worker", "w%d" % outcome.worker)
+            parent = tracer.current()
+            if parent is not None:
+                parent.children.append(root)
+            else:
+                tracer.roots.append(root)
+            if tracer.on_span_end is not None:
+                for span in root.iter_spans():
+                    tracer.on_span_end(span)
+
+    def _record_exec_metrics(self, outcomes, task_count, schedule):
+        """Deterministic execution metrics for the run report."""
+        config = self.exec_config
+        self.obs.gauge(
+            EXEC_WORKERS_METRIC, "Configured worker count.",
+        ).set(config.max_workers)
+        self.obs.gauge(
+            EXEC_CHUNK_SIZE_METRIC, "Tasks per worker dispatch.",
+        ).set(config.chunk_size)
+        self.obs.gauge(
+            EXEC_BACKEND_METRIC, "Resolved execution backend (info).",
+            ("backend",),
+        ).labels(backend=config.resolved_backend).set(1)
+        chunks = -(-task_count // config.chunk_size) if task_count else 0
+        self.obs.gauge(
+            EXEC_QUEUE_DEPTH_METRIC,
+            "High-water mark of chunks in the bounded work queue.",
+        ).set(min(config.window, chunks))
+        tasks = self.obs.counter(
+            EXEC_TASKS_METRIC, "Per-app tasks, by outcome.", ("status",),
+        )
+        for outcome in outcomes:
+            if outcome.cached:
+                tasks.labels(status="cached").inc()
+            elif outcome.error is not None:
+                tasks.labels(status="failed").inc()
+            else:
+                tasks.labels(status="ok").inc()
+        busy = self.obs.counter(
+            EXEC_WORKER_BUSY_METRIC,
+            "Clock units each worker spent analyzing apps.",
+            ("worker",),
+        )
+        for worker, amount in enumerate(schedule.worker_busy):
+            if amount:
+                busy.labels(worker="w%d" % worker).inc(amount)
+        self.obs.gauge(
+            EXEC_CRITICAL_PATH_METRIC,
+            "Makespan of the (simulated greedy) worker schedule.",
+        ).set(schedule.critical_path)

@@ -34,6 +34,10 @@ class Url:
 
     @property
     def origin(self):
+        # Schemes without a default port (intent://, market://, ...) have
+        # no port at all; omit the component rather than render ":None".
+        if self.port is None:
+            return "%s://%s" % (self.scheme, self.host)
         return "%s://%s:%s" % (self.scheme, self.host, self.port)
 
     @property

@@ -1,0 +1,173 @@
+"""Tests for the parallel-execution layer (repro.exec)."""
+
+import pytest
+
+from repro.exec import (
+    AnalysisCache,
+    BACKEND_AUTO,
+    BACKEND_ENV_VAR,
+    BACKEND_INLINE,
+    BACKEND_PROCESS,
+    CHUNK_SIZE_ENV_VAR,
+    ExecConfig,
+    ExecConfigError,
+    InlinePool,
+    MAX_WORKERS_ENV_VAR,
+    ProcessPool,
+    make_pool,
+    simulate_schedule,
+)
+
+
+class TestExecConfig:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV_VAR, raising=False)
+        monkeypatch.delenv(CHUNK_SIZE_ENV_VAR, raising=False)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        config = ExecConfig()
+        assert config.max_workers == 1
+        assert config.chunk_size == 8
+        assert config.backend == BACKEND_AUTO
+        assert config.resolved_backend == BACKEND_INLINE
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(CHUNK_SIZE_ENV_VAR, "3")
+        monkeypatch.setenv(BACKEND_ENV_VAR, BACKEND_INLINE)
+        config = ExecConfig()
+        assert config.max_workers == 4
+        assert config.chunk_size == 3
+        assert config.resolved_backend == BACKEND_INLINE
+
+    def test_arguments_beat_env(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "4")
+        assert ExecConfig(max_workers=2).max_workers == 2
+
+    def test_auto_resolution(self):
+        assert ExecConfig(max_workers=1).resolved_backend == BACKEND_INLINE
+        assert ExecConfig(max_workers=2).resolved_backend == BACKEND_PROCESS
+
+    def test_window_bounds_in_flight_chunks(self):
+        assert ExecConfig(max_workers=3).window == 6
+
+    def test_validation(self, monkeypatch):
+        with pytest.raises(ExecConfigError):
+            ExecConfig(max_workers=0)
+        with pytest.raises(ExecConfigError):
+            ExecConfig(chunk_size=0)
+        with pytest.raises(ExecConfigError):
+            ExecConfig(backend="threads")
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ExecConfigError):
+            ExecConfig()
+
+
+class TestAnalysisCache:
+    def test_miss_then_hit(self):
+        cache = AnalysisCache()
+        assert cache.get("a" * 64, (True,)) is None
+        cache.put("a" * 64, (True,), "outcome")
+        assert cache.get("a" * 64, (True,)) == "outcome"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_fingerprint_separates_option_sets(self):
+        cache = AnalysisCache()
+        cache.put("a" * 64, (True, True), "strict")
+        cache.put("a" * 64, (False, True), "naive")
+        assert cache.get("a" * 64, (True, True)) == "strict"
+        assert cache.get("a" * 64, (False, True)) == "naive"
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = AnalysisCache()
+        cache.put("a" * 64, (), 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a" * 64, ()) is None
+
+
+class TestSimulateSchedule:
+    def test_empty(self):
+        schedule = simulate_schedule([], 4, 2)
+        assert schedule.critical_path == 0.0
+        assert schedule.speedup == 1.0
+        assert schedule.assignments == []
+
+    def test_uniform_costs_balance_perfectly(self):
+        schedule = simulate_schedule([1.0] * 8, 4, 1)
+        assert schedule.worker_busy == [2.0, 2.0, 2.0, 2.0]
+        assert schedule.critical_path == 2.0
+        assert schedule.speedup == 4.0
+
+    def test_greedy_earliest_free_worker(self):
+        # w0 takes the 5; the three 1s drain through w1.
+        schedule = simulate_schedule([5.0, 1.0, 1.0, 1.0], 2, 1)
+        assert schedule.assignments == [0, 1, 1, 1]
+        assert schedule.worker_busy == [5.0, 3.0]
+        assert schedule.critical_path == 5.0
+
+    def test_chunks_stay_together(self):
+        schedule = simulate_schedule([1.0, 1.0, 1.0, 1.0], 2, 2)
+        assert schedule.assignments == [0, 0, 1, 1]
+
+    def test_serial_schedule_has_no_speedup(self):
+        schedule = simulate_schedule([1.0, 2.0, 3.0], 1, 2)
+        assert schedule.speedup == 1.0
+        assert schedule.critical_path == 6.0
+
+
+def _square(value):
+    return value * value
+
+
+def _explode(value):
+    raise RuntimeError("task %d blew up" % value)
+
+
+class TestWorkerPools:
+    def test_inline_pool_ordered(self):
+        pool = InlinePool(ExecConfig(max_workers=1))
+        assert pool.map([1, 2, 3], _square) == [1, 4, 9]
+
+    def test_process_pool_matches_inline(self):
+        config = ExecConfig(max_workers=2, chunk_size=2,
+                            backend=BACKEND_PROCESS)
+        values = list(range(11))
+        assert ProcessPool(config).map(values, _square) == [
+            v * v for v in values
+        ]
+
+    def test_process_pool_empty_input(self):
+        config = ExecConfig(max_workers=2, backend=BACKEND_PROCESS)
+        assert ProcessPool(config).map([], _square) == []
+
+    def test_process_pool_propagates_worker_bugs(self):
+        config = ExecConfig(max_workers=2, chunk_size=1,
+                            backend=BACKEND_PROCESS)
+        with pytest.raises(RuntimeError):
+            ProcessPool(config).map([1], _explode)
+
+    def test_make_pool_resolves_backend(self):
+        assert make_pool(ExecConfig(max_workers=1)).name == BACKEND_INLINE
+        assert make_pool(ExecConfig(max_workers=2)).name == BACKEND_PROCESS
+
+    def test_make_pool_falls_back_when_processes_unavailable(
+        self, monkeypatch
+    ):
+        import repro.exec.pool as pool_module
+
+        monkeypatch.setattr(pool_module, "process_backend_available",
+                            lambda: False)
+        events = []
+
+        class Log:
+            def warning(self, event, **kv):
+                events.append(event)
+
+        pool = pool_module.make_pool(
+            ExecConfig(max_workers=4, backend=BACKEND_PROCESS), log=Log()
+        )
+        assert pool.name == BACKEND_INLINE
+        assert events == ["process_backend_unavailable"]

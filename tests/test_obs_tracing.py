@@ -77,6 +77,25 @@ class TestExport:
         assert fetch["events"][0]["attributes"]["url"] == "https://a.com/"
         assert visit["duration"] == visit["end"] - visit["start"]
 
+    def test_span_dict_roundtrip(self):
+        # The exec layer ships worker span trees between processes as
+        # dicts; a rebuilt tree must match the original export.
+        from repro.obs.tracing import Span
+
+        tracer = Tracer(clock=TickClock(step=1.0))
+        with pytest.raises(RuntimeError):
+            with tracer.span("analyze_app", package="com.x"):
+                with tracer.span("decompile") as decompile:
+                    decompile.add_event("classes_loaded", count=12)
+                raise RuntimeError("broken dex")
+        exported = tracer.roots[0].to_dict()
+        rebuilt = Span.from_dict(exported)
+        assert rebuilt.to_dict() == exported
+        assert rebuilt.name == "analyze_app"
+        assert rebuilt.status == "error"
+        assert rebuilt.children[0].events[0]["name"] == "classes_loaded"
+        assert rebuilt.duration == tracer.roots[0].duration
+
     def test_find_and_stage_totals(self):
         tracer = Tracer(clock=TickClock(step=1.0))
         with tracer.span("run"):

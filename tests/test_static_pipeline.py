@@ -224,6 +224,71 @@ class TestStudyRun:
         ]
 
 
+class TestParallelExecution:
+    """Determinism and fault isolation of the sharded execution layer."""
+
+    def test_results_identical_across_worker_counts(self):
+        from repro.core.study import StaticStudy
+
+        serial = StaticStudy(universe_size=2_000, seed=424242, max_workers=1)
+        sharded = StaticStudy(universe_size=2_000, seed=424242,
+                              max_workers=4, chunk_size=5,
+                              exec_backend="inline")
+        serial.run()
+        sharded.run()
+        assert serial.table2().render() == sharded.table2().render()
+        assert serial.table3().render() == sharded.table3().render()
+
+    def test_process_backend_matches_inline(self):
+        from repro.core.study import StaticStudy
+
+        inline = StaticStudy(universe_size=600, seed=31337, max_workers=1)
+        forked = StaticStudy(universe_size=600, seed=31337, max_workers=2,
+                             chunk_size=2, exec_backend="process")
+        inline.run()
+        forked.run()
+        assert inline.table2().render() == forked.table2().render()
+        assert inline.table3().render() == forked.table3().render()
+
+    def test_failures_become_drops_not_aborts(self):
+        from repro.errors import RepositoryError, error_slug
+        from repro.exec import AnalysisCache
+        from repro.obs import APPS_LISTED_METRIC, DROPS_METRIC, Obs
+
+        corpus = generate_corpus(CorpusConfig(universe_size=2_000, seed=99),
+                                 obs=Obs())
+        probe = StaticAnalysisPipeline(corpus, obs=Obs(),
+                                       cache=AnalysisCache())
+        selected, _funnel = probe.select_apps()
+        rows = [row for row, _listing in selected]
+        assert len(rows) >= 2
+
+        # One app whose APK bytes are corrupt, one whose download fails.
+        corpus.repository._payloads[rows[0].sha256] = b"garbage, not an apk"
+
+        def refuse():
+            raise RepositoryError("mirror offline")
+
+        corpus.repository._payloads[rows[1].sha256] = refuse
+
+        obs = Obs()
+        pipeline = StaticAnalysisPipeline(corpus, obs=obs,
+                                          cache=AnalysisCache())
+        result = pipeline.run()
+
+        # Both sabotaged apps were isolated, not fatal.
+        assert result.broken >= 2
+        assert result.analyzed + result.broken == len(rows)
+        drops = obs.registry.label_values(DROPS_METRIC)
+        reasons = {labels[0] for labels in drops}
+        assert "broken_apk" in reasons
+        assert error_slug(RepositoryError) in reasons
+        # The funnel invariant survives injected faults: every listed app
+        # is either analyzed or accounted for by exactly one drop reason.
+        listed = obs.registry.value(APPS_LISTED_METRIC)
+        assert sum(drops.values()) == listed - result.analyzed
+
+
 class TestReports:
     def test_table2_renders(self, result):
         text = table2(result).render()

@@ -148,3 +148,31 @@ class TestAndroZoo:
     def test_snapshot_date_default(self):
         snapshot = AndroZooRepository().snapshot()
         assert snapshot.date == datetime.date(2023, 1, 13)
+
+    def test_snapshot_excludes_rows_after_its_date(self):
+        # Regression: snapshot(date) returned every archived row, so apps
+        # first seen after the snapshot date leaked into the listing.
+        repo = AndroZooRepository()
+        old = repo.archive("com.old", 1, "2022-06-01", b"old")
+        repo.archive("com.new", 1, "2023-05-01", b"new")
+        repo.archive("com.old", 9, "2023-05-01", b"old-v9")
+        snapshot = repo.snapshot("2023-01-13")
+        assert len(snapshot) == 1
+        assert snapshot.packages() == ["com.old"]
+        assert snapshot.latest_version("com.new") is None
+        # The later version of com.old must not win inside the snapshot.
+        assert snapshot.latest_version("com.old").sha256 == old.sha256
+
+    def test_latest_version_market_restriction(self):
+        # Regression: a newer alternative-market archive of the same
+        # package could win the version pick for the Play-only study.
+        repo = AndroZooRepository()
+        play = repo.archive("com.a", 3, "2022-01-01", b"play")
+        other = repo.archive("com.a", 7, "2022-06-01", b"anzhi",
+                             markets=("anzhi",))
+        snapshot = repo.snapshot()
+        assert snapshot.latest_version("com.a").sha256 == other.sha256
+        assert snapshot.latest_version(
+            "com.a", market=PLAY_MARKET
+        ).sha256 == play.sha256
+        assert snapshot.latest_version("com.a", market="fdroid") is None

@@ -92,6 +92,28 @@ class TestRegistrableDomain:
         assert not parse_url("http://x.com/").is_secure
 
 
+class TestOrigin:
+    def test_default_port_in_origin(self):
+        assert parse_url("https://x.com/").origin == "https://x.com:443"
+
+    def test_explicit_port_in_origin(self):
+        assert parse_url("http://x.com:8080/").origin == "http://x.com:8080"
+
+    def test_portless_scheme_omits_port(self):
+        # Regression: intent:// and other schemes without a default port
+        # rendered as "intent://host:None".
+        url = parse_url("intent://open.example.com/path")
+        assert url.port is None
+        assert url.origin == "intent://open.example.com"
+        assert ":None" not in url.origin
+
+    def test_portless_same_origin(self):
+        a = parse_url("market://details?id=com.x.app")
+        b = parse_url("market://details?id=com.other.app")
+        assert a.same_origin(b)
+        assert not a.same_origin(parse_url("intent://details"))
+
+
 class TestClassify:
     def test_intended_site(self):
         category = classify_endpoint(
