@@ -7,6 +7,10 @@ call-graph construction, and the sharded execution layer's parallel
 speedup and cache behaviour.
 """
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.apk.container import read_apk
@@ -17,19 +21,40 @@ from repro.decompiler.jadx import Decompiler
 from repro.exec import AnalysisCache, ExecConfig
 from repro.javasrc.parser import parse_java
 from repro.obs import (
+    EXEC_CLASS_CACHE_HITS_METRIC,
+    EXEC_CLASS_CACHE_MISSES_METRIC,
     EXEC_CRITICAL_PATH_METRIC,
     EXEC_TASKS_METRIC,
     EXEC_WORKER_BUSY_METRIC,
     Obs,
+    STAGE_SECONDS_METRIC,
 )
 from repro.playstore.models import AppCategory
 from repro.sdk import build_catalog
+from repro.static_analysis.export import export_study_json
 from repro.static_analysis.pipeline import (
     StaticAnalysisPipeline,
     analyze_apk_bytes,
 )
 from repro.static_analysis.report import Aggregator, table2, table3
 from repro.util import DEFAULT_SEED
+
+#: Where the machine-readable throughput summary lands (override with
+#: the REPRO_BENCH_JSON env var).
+BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__),
+                                  "BENCH_throughput.json")
+
+
+@pytest.fixture(scope="module")
+def bench_json():
+    """Collects measurements; written out when the module finishes."""
+    data = {"benchmark": "pipeline_throughput"}
+    yield data
+    path = os.environ.get(BENCH_JSON_ENV_VAR) or BENCH_JSON_DEFAULT
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="module")
@@ -124,6 +149,108 @@ def test_parallel_speedup_at_four_workers(exec_corpus):
     assert table3(Aggregator(serial)).render() == (
         table3(Aggregator(sharded)).render()
     )
+
+
+def _timed_run(corpus, cache, class_cache=True):
+    """One real-clock run; returns (obs, result, per-stage seconds)."""
+    obs = Obs(clock=time.perf_counter)
+    pipeline = StaticAnalysisPipeline(
+        corpus, obs=obs, cache=cache,
+        exec_config=ExecConfig(max_workers=4, chunk_size=4,
+                               backend="inline", class_cache=class_cache),
+    )
+    result = pipeline.run()
+    stages = {
+        labels[0]: value
+        for labels, value in
+        obs.registry.label_values(STAGE_SECONDS_METRIC).items()
+    }
+    return obs, result, stages
+
+
+def _class_hit_rate(obs):
+    hits = obs.registry.value(EXEC_CLASS_CACHE_HITS_METRIC)
+    misses = obs.registry.value(EXEC_CLASS_CACHE_MISSES_METRIC)
+    return hits / (hits + misses)
+
+
+def test_class_cache_speedup(exec_corpus, bench_json):
+    """Warm vs cold class cache on the 2K universe, equality included.
+
+    Three legs over the same corpus: class cache off (baseline), cold
+    (fresh class tier — still deduplicates across apps within the run),
+    warm (class tier pre-populated by the cold run). Timing legs use
+    best-of-2 to absorb real-clock noise; results must be byte-identical
+    across all three.
+    """
+    _, off_result, off_stages = _timed_run(
+        exec_corpus, AnalysisCache(), class_cache=False
+    )
+
+    cold_cache = AnalysisCache()
+    cold_obs, cold_result, cold_stages = _timed_run(exec_corpus, cold_cache)
+    retry_cache = AnalysisCache()
+    _, _, cold_retry = _timed_run(exec_corpus, retry_cache)
+    cold_time = min(cold_stages["analyze_app"], cold_retry["analyze_app"])
+
+    warm_obs, warm_result, warm_stages = _timed_run(
+        exec_corpus, AnalysisCache(classes=cold_cache.classes)
+    )
+    _, _, warm_retry = _timed_run(
+        exec_corpus, AnalysisCache(classes=cold_cache.classes)
+    )
+    warm_time = min(warm_stages["analyze_app"], warm_retry["analyze_app"])
+
+    # Same seed, any cache state: byte-identical StudyResults.
+    off_exported = export_study_json(off_result)
+    assert export_study_json(cold_result) == off_exported
+    assert export_study_json(warm_result) == off_exported
+    assert table2(warm_result).render() == table2(off_result).render()
+    assert table3(Aggregator(warm_result)).render() == (
+        table3(Aggregator(off_result)).render()
+    )
+
+    cold_rate = _class_hit_rate(cold_obs)
+    warm_rate = _class_hit_rate(warm_obs)
+    speedup = cold_time / warm_time
+    busy = sum(
+        cold_obs.registry.label_values(EXEC_WORKER_BUSY_METRIC).values()
+    )
+    critical = cold_obs.registry.value(EXEC_CRITICAL_PATH_METRIC)
+
+    apps = cold_result.analyzed + cold_result.broken
+    print()
+    print("class-cache speedup (analyze_app stage, %d apps): %.2fx "
+          "(cold %.3fs -> warm %.3fs)" % (apps, speedup, cold_time,
+                                          warm_time))
+    print("class-cache hit rate: cold %.1f%%, warm %.1f%%"
+          % (100 * cold_rate, 100 * warm_rate))
+
+    bench_json["universe_size"] = 2_000
+    bench_json["apps_analyzed"] = apps
+    bench_json["stage_seconds"] = {
+        "off": {name: round(value, 6) for name, value in
+                sorted(off_stages.items())},
+        "cold": {name: round(value, 6) for name, value in
+                 sorted(cold_stages.items())},
+        "warm": {name: round(value, 6) for name, value in
+                 sorted(warm_stages.items())},
+    }
+    bench_json["class_cache"] = {
+        "cold_hit_rate": round(cold_rate, 4),
+        "warm_hit_rate": round(warm_rate, 4),
+        "analysis_stage_speedup": round(speedup, 2),
+    }
+    bench_json["simulated_parallel_speedup"] = (
+        round(busy / critical, 2) if critical else None
+    )
+
+    # Shared SDK code dominates the corpus: even a cold run dedupes more
+    # than half of all class lookups, and a warm corpus-level cache
+    # at least halves the per-APK analysis stage.
+    assert cold_rate > 0.5
+    assert warm_rate > 0.5
+    assert speedup >= 2.0
 
 
 def test_result_cache_absorbs_repeat_runs(exec_corpus):

@@ -9,7 +9,7 @@ paper records every reachable WebView/CT call (Section 3.1.3).
 """
 
 from repro.callgraph.graph import CallGraph
-from repro.callgraph.builder import build_call_graph
+from repro.callgraph.builder import build_call_graph, class_method_summary
 from repro.callgraph.entrypoints import (
     entry_point_methods,
     is_lifecycle_method,
@@ -19,6 +19,7 @@ from repro.callgraph.entrypoints import (
 __all__ = [
     "CallGraph",
     "build_call_graph",
+    "class_method_summary",
     "entry_point_methods",
     "is_lifecycle_method",
     "LIFECYCLE_METHODS",

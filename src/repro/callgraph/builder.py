@@ -9,9 +9,30 @@ in the DEX remain as external leaf nodes, preserving the original receiver
 class — so a call to ``com.foo.MyWebView.loadUrl`` stays attributed to the
 custom subclass, and the pipeline uses the decompile+parse subclass map to
 recognize it as a WebView call (exactly why the paper needs both steps).
+
+Construction consumes per-class **method summaries** — ``(name,
+descriptor, invoked key triples)`` per method — which are pure functions
+of a class's bytes and therefore memoizable corpus-wide
+(:func:`class_method_summary`); resolution stays per-APK because the
+superclass chain and the defined-method set span the whole DEX file.
 """
 
 from repro.dex.model import MethodRef
+
+
+def class_method_summary(dex_class):
+    """Invoke summaries for one class, decoupled from instruction decoding.
+
+    Returns a tuple of ``(method_name, descriptor, invoked_keys)`` where
+    ``invoked_keys`` is the ordered tuple of ``(class, method,
+    descriptor)`` targets of the method's invoke instructions. A pure
+    function of the class, cached under its content digest.
+    """
+    return tuple(
+        (method.name, method.descriptor,
+         tuple(ref.key() for ref in method.invoked_refs()))
+        for method in dex_class.methods
+    )
 
 
 def _resolve_target(dex_file, definitions, ref):
@@ -34,28 +55,46 @@ def _resolve_target(dex_file, definitions, ref):
     return ref
 
 
-def build_call_graph(dex_file):
+def build_call_graph(dex_file, method_summaries=None):
     """Build a :class:`~repro.callgraph.CallGraph` over ``dex_file``.
 
     Returns a graph whose nodes are MethodRef instances; every method
     defined in the file is present as a node even if it has no edges.
+    ``method_summaries`` maps class name -> :func:`class_method_summary`
+    output; when omitted, summaries are computed on the fly.
     """
     from repro.callgraph.graph import CallGraph
 
-    definitions = {}
-    for dex_class, method in dex_file.iter_methods():
-        ref = MethodRef(dex_class.name, method.name, method.descriptor)
-        definitions[(ref.class_name, ref.method_name, ref.descriptor)] = (
-            dex_class, method
-        )
+    if method_summaries is None:
+        method_summaries = {
+            dex_class.name: class_method_summary(dex_class)
+            for dex_class in dex_file.classes
+        }
+
+    definitions = set()
+    nodes = []
+    for dex_class in dex_file.classes:
+        for method_name, descriptor, _ in method_summaries[dex_class.name]:
+            key = (dex_class.name, method_name, descriptor)
+            if key not in definitions:
+                definitions.add(key)
+                nodes.append(key)
 
     graph = CallGraph()
-    for (class_name, method_name, descriptor), (_, _) in definitions.items():
-        graph.add_node(MethodRef(class_name, method_name, descriptor))
+    for key in nodes:
+        graph.add_node(MethodRef(*key))
 
-    for dex_class, method in dex_file.iter_methods():
-        caller = MethodRef(dex_class.name, method.name, method.descriptor)
-        for ref in method.invoked_refs():
-            target = _resolve_target(dex_file, definitions, ref)
-            graph.add_edge(caller, target)
+    # Superclass-chain walks repeat per call *site* but only depend on
+    # the call *target*, so resolution is memoized per key triple.
+    resolved = {}
+    for dex_class in dex_file.classes:
+        for method_name, descriptor, invokes in method_summaries[dex_class.name]:
+            caller = MethodRef(dex_class.name, method_name, descriptor)
+            for key in invokes:
+                target = resolved.get(key)
+                if target is None:
+                    target = _resolve_target(dex_file, definitions,
+                                             MethodRef(*key))
+                    resolved[key] = target
+                graph.add_edge(caller, target)
     return graph

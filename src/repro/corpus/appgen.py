@@ -76,13 +76,79 @@ def _sdk_slug(sdk):
     return "".join(c for c in sdk.name.lower() if c.isalnum()) or "sdk"
 
 
+def _sdk_runtime_classes(prefix, slug):
+    """The SDK's runtime support code: config, transport, telemetry.
+
+    These depend only on the SDK itself — never on how an app uses it —
+    so every app embedding the SDK ships byte-identical copies. They make
+    no WebView/CT calls and contribute nothing to the study's results;
+    they model the bulk support code real SDKs bundle, which is what the
+    class-level analysis cache deduplicates corpus-wide.
+    """
+    classes = []
+    config = ClassBuilder("%s.internal.SdkConfig" % prefix)
+    load = config.method("load", "()void")
+    load.const_string("https://api.%s.com/v1" % slug)
+    load.const_string("%s.sdk" % slug)
+    load.return_void()
+    classes.append(config.build())
+
+    stack = ClassBuilder("%s.internal.HttpStack" % prefix)
+    connect = stack.method("connect", "()void")
+    connect.invoke_virtual("%s.internal.SdkConfig" % prefix, "load", "()void")
+    connect.const_string("https://api.%s.com/v1/session" % slug)
+    connect.return_void()
+    classes.append(stack.build())
+
+    telemetry = ClassBuilder("%s.util.Telemetry" % prefix)
+    flush = telemetry.method("flush", "()void")
+    flush.const_string("sdk_init")
+    flush.invoke_virtual("%s.internal.HttpStack" % prefix, "connect",
+                         "()void")
+    flush.return_void()
+    classes.append(telemetry.build())
+    return classes
+
+
+def _support_library_classes():
+    """Bundled androidx support-library code, identical in every app.
+
+    Real APKs all repackage the same support classes; these ship with
+    every generated app, make no WebView/CT calls, and are unreachable
+    from any entry point — pure corpus-wide duplication for the class
+    cache to absorb.
+    """
+    classes = []
+    bundle = ClassBuilder("androidx.core.os.BundleCompat")
+    get = bundle.method("getParcelable", "()void")
+    get.const_string("androidx.core")
+    get.return_void()
+    classes.append(bundle.build())
+
+    cache = ClassBuilder("androidx.collection.LruCache")
+    trim = cache.method("trimToSize", "()void")
+    trim.invoke_virtual("androidx.core.os.BundleCompat", "getParcelable",
+                        "()void")
+    trim.return_void()
+    classes.append(cache.build())
+
+    registry = ClassBuilder("androidx.lifecycle.LifecycleRegistry")
+    handle = registry.method("handleLifecycleEvent", "()void")
+    handle.const_string("ON_CREATE")
+    handle.invoke_virtual("androidx.collection.LruCache", "trimToSize",
+                          "()void")
+    handle.return_void()
+    classes.append(registry.build())
+    return classes
+
+
 def _sdk_classes(sdk_use, rng):
     """Generate the dex classes one embedded SDK contributes."""
     sdk = sdk_use.sdk
     prefix = sdk.primary_package
     slug = _sdk_slug(sdk)
-    classes = []
-    init_targets = []
+    classes = list(_sdk_runtime_classes(prefix, slug))
+    init_targets = [("%s.util.Telemetry" % prefix, "flush")]
 
     if sdk_use.via_webview:
         if sdk.category in _SUBCLASSING_CATEGORIES:
@@ -120,6 +186,42 @@ def _sdk_classes(sdk_use, rng):
     classes.append(entry.build())
     del rng
     return classes, "%s.Sdk" % prefix
+
+
+def _app_shell_class(spec):
+    """The app's own glue code: unique bytes in every APK.
+
+    Real apps carry far more first-party code than web-content call
+    sites; this class models that bulk. Its names and strings embed the
+    package, so unlike SDK and support-library code it never
+    deduplicates across apps — the per-app cost the class-level cache
+    cannot absorb.
+    """
+    package = spec.package
+    host = package.split(".")[1]
+    name = "%s.app.AppShell" % package
+    shell = ClassBuilder(name)
+    sections = ("home", "detail", "settings", "profile", "search", "about",
+                "feed", "inbox", "library", "offers", "history", "help")
+    for section in sections:
+        title = section.capitalize()
+        bind = shell.method("bind%s" % title, "()void")
+        bind.const_string("%s.screen.%s" % (package, section))
+        bind.const_string("layout_%s" % section)
+        bind.const_string("title_%s" % section)
+        bind.const_string("https://www.%s.example/%s" % (host, section))
+        bind.invoke_virtual(name, "track%s" % title, "()void")
+        bind.return_void()
+        track = shell.method("track%s" % title, "()void")
+        track.const_string("%s.analytics" % package)
+        track.const_string("screen_view_%s" % section)
+        track.const_string("session")
+        track.return_void()
+    boot = shell.method("bootstrap", "()void")
+    for section in sections:
+        boot.invoke_virtual(name, "bind%s" % section.capitalize(), "()void")
+    boot.return_void()
+    return shell.build(), name
 
 
 def _first_party_classes(spec):
@@ -214,10 +316,15 @@ def build_app_apk(spec, seed=0):
     )
     builder.manifest.permissions.append("android.permission.INTERNET")
 
+    builder.add_classes(_support_library_classes())
+    shell_class, shell_name = _app_shell_class(spec)
+    builder.add_class(shell_class)
+
     main_activity = ClassBuilder(main_activity_name, superclass=ACTIVITY_BASE)
     on_create = main_activity.method("onCreate", "(android.os.Bundle)void")
     on_create.invoke_super(ACTIVITY_BASE, "onCreate",
                            "(android.os.Bundle)void")
+    on_create.invoke_virtual(shell_name, "bootstrap", "()void")
 
     for sdk_use in spec.sdk_uses:
         classes, init_class = _sdk_classes(sdk_use, rng)

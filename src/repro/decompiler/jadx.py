@@ -49,19 +49,33 @@ class Decompiler:
         self.classes_emitted = 0
         self.classes_failed = 0
 
+    def decompile_class(self, dex_class):
+        """Generate Java source for one class; None when generation fails.
+
+        This is the unit of work the class-facts cache memoizes — the
+        generated source is a pure function of the class bytes, so one
+        SDK class shipped in thousands of APKs only ever reaches this
+        method once per corpus.
+        """
+        try:
+            source = generate_source(dex_class)
+        except Exception:  # pragma: no cover - defensive
+            self.classes_failed += 1
+            return None
+        self.classes_emitted += 1
+        return source
+
     def decompile_apk(self, apk):
         """Decompile a parsed :class:`~repro.apk.Apk` object."""
         self.apks_attempted += 1
         sources = {}
         failed = []
         for dex_class in apk.dex.classes:
-            try:
-                sources[dex_class.name] = generate_source(dex_class)
-            except Exception as exc:  # pragma: no cover - defensive
+            source = self.decompile_class(dex_class)
+            if source is None:
                 failed.append(dex_class.name)
-                self.classes_failed += 1
-                continue
-        self.classes_emitted += len(sources)
+            else:
+                sources[dex_class.name] = source
         self.apks_succeeded += 1
         return DecompiledApp(
             package=apk.package,

@@ -17,7 +17,12 @@ from repro.dex.model import (
     Instruction,
     MethodRef,
 )
-from repro.dex.binary import serialize_dex, deserialize_dex
+from repro.dex.binary import (
+    class_digest,
+    deserialize_dex,
+    serialize_class,
+    serialize_dex,
+)
 from repro.dex.assembler import ClassBuilder, MethodBuilder
 from repro.dex.disassembler import disassemble, disassemble_class, assemble
 
@@ -32,6 +37,8 @@ __all__ = [
     "MethodRef",
     "serialize_dex",
     "deserialize_dex",
+    "serialize_class",
+    "class_digest",
     "ClassBuilder",
     "MethodBuilder",
     "disassemble",

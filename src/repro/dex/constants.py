@@ -67,3 +67,6 @@ class AccessFlag(enum.IntFlag):
 
 #: Magic prefix for serialized simplified-DEX files ("sdex" + version).
 DEX_MAGIC = b"sdex\x01\x00"
+
+#: Magic for the canonical single-class encoding (content addressing).
+CLASS_MAGIC = b"scls\x01\x00"

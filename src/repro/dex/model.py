@@ -17,7 +17,7 @@ class MethodRef:
     parentheses, return type after.
     """
 
-    __slots__ = ("class_name", "method_name", "descriptor")
+    __slots__ = ("class_name", "method_name", "descriptor", "_hash")
 
     def __init__(self, class_name, method_name, descriptor="()void"):
         self.class_name = class_name
@@ -44,10 +44,23 @@ class MethodRef:
         return (self.class_name, self.method_name, self.descriptor)
 
     def __eq__(self, other):
-        return isinstance(other, MethodRef) and self.key() == other.key()
+        return (
+            isinstance(other, MethodRef)
+            and self.class_name == other.class_name
+            and self.method_name == other.method_name
+            and self.descriptor == other.descriptor
+        )
 
     def __hash__(self):
-        return hash(self.key())
+        # Refs are hashed constantly as graph keys; memoize (instances
+        # are immutable in practice, and __slots__ keeps this lazy).
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(
+                (self.class_name, self.method_name, self.descriptor)
+            )
+            return self._hash
 
     def __repr__(self):
         return "MethodRef(%s.%s%s)" % (

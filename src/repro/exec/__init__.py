@@ -14,8 +14,12 @@ shard themselves with:
   fallback used for single-worker runs, for tests, and wherever process
   pools are unavailable. Both return results in input order.
 - **result cache** (:mod:`repro.exec.cache`): :class:`AnalysisCache`, a
-  SHA-256-keyed cache of per-APK outcomes so repeated runs and ablation
-  benchmarks skip re-decompilation.
+  two-tier LRU-bounded store — SHA-256-keyed per-APK outcomes on top of a
+  corpus-wide content-addressed :class:`ClassFactsCache`, so repeated
+  runs skip whole apps and shared SDK classes are decompiled and parsed
+  once per corpus (``REPRO_CACHE_MAX_ENTRIES`` bounds both tiers,
+  ``REPRO_CACHE_DIR`` adds an on-disk class-facts layer,
+  ``REPRO_CLASS_CACHE=0`` disables class-level memoization).
 - **schedule accounting** (:mod:`repro.exec.schedule`): a deterministic
   greedy earliest-free-worker simulation over measured task costs; the
   run report's parallel-speedup figure (work / critical path) comes from
@@ -26,13 +30,19 @@ per-task work is a pure function of the APK bytes, so a same-seed study
 produces byte-identical tables for any worker count or backend.
 """
 
-from repro.exec.cache import AnalysisCache
+from repro.exec.cache import (
+    CACHE_DIR_ENV_VAR,
+    AnalysisCache,
+    ClassFactsCache,
+    MAX_ENTRIES_ENV_VAR,
+)
 from repro.exec.config import (
     BACKEND_AUTO,
     BACKEND_ENV_VAR,
     BACKEND_INLINE,
     BACKEND_PROCESS,
     CHUNK_SIZE_ENV_VAR,
+    CLASS_CACHE_ENV_VAR,
     ExecConfig,
     ExecConfigError,
     MAX_WORKERS_ENV_VAR,
@@ -52,10 +62,14 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "BACKEND_INLINE",
     "BACKEND_PROCESS",
+    "CACHE_DIR_ENV_VAR",
     "CHUNK_SIZE_ENV_VAR",
+    "CLASS_CACHE_ENV_VAR",
+    "ClassFactsCache",
     "ExecConfig",
     "ExecConfigError",
     "InlinePool",
+    "MAX_ENTRIES_ENV_VAR",
     "MAX_WORKERS_ENV_VAR",
     "ProcessPool",
     "Schedule",

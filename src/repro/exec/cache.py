@@ -1,20 +1,219 @@
-"""SHA-256-keyed cache of per-APK analysis outcomes.
+"""Two-tier analysis cache: per-APK outcomes and per-class facts.
 
 An APK's analysis is a pure function of its bytes and the pipeline's
 feature switches, so outcomes are cached under ``(sha256, fingerprint)``
 where the fingerprint encodes the :class:`PipelineOptions` in effect.
-Repeated runs over the same corpus — and ablation benchmarks that rerun
-one configuration — skip decompilation, call-graph construction and
-traversal entirely; runs with different options never collide because
-their fingerprints differ.
+Below that sits a corpus-wide **class-facts tier** keyed by the SHA-256
+of each dex class's canonical encoding (:func:`repro.dex.serialize_class`):
+the paper's central finding is that third-party web content is driven by
+a small set of SDKs embedded in thousands of apps, which means the same
+class bytes recur across the corpus — an SDK class shipped in 2,000 apps
+is decompiled and parsed once, and every later occurrence reuses the
+memoized facts.
+
+Both tiers are bounded LRU stores (``REPRO_CACHE_MAX_ENTRIES``; unbounded
+by default) with eviction accounting, and the class tier can spill to an
+on-disk layer (``REPRO_CACHE_DIR``) for warm starts across processes and
+runs. Facts are options-independent — they are pure functions of the
+class bytes — so the class tier needs no fingerprint.
 """
+
+import collections
+import os
+import pickle
+
+from repro.exec.config import _env_int
+
+MAX_ENTRIES_ENV_VAR = "REPRO_CACHE_MAX_ENTRIES"
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _env_max_entries():
+    value = _env_int(MAX_ENTRIES_ENV_VAR, 0)
+    return value if value > 0 else None
+
+
+def _env_cache_dir():
+    raw = os.environ.get(CACHE_DIR_ENV_VAR)
+    return raw if raw and raw.strip() else None
+
+
+class _LruStore:
+    """A bounded mapping evicting least-recently-used entries."""
+
+    def __init__(self, max_entries=None):
+        self.max_entries = max_entries
+        self.entries = collections.OrderedDict()
+        self.evictions = 0
+
+    def get(self, key):
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.entries.move_to_end(key)
+        return entry
+
+    def peek(self, key):
+        """Lookup without refreshing recency."""
+        return self.entries.get(key)
+
+    def put(self, key, value):
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self.entries) > self.max_entries:
+                self.entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self):
+        self.entries.clear()
+
+    def __contains__(self, key):
+        return key in self.entries
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class ClassFactsCache:
+    """Content-addressed per-class analysis facts (the lower tier).
+
+    Keys are canonical-encoding digests; values are
+    :class:`~repro.static_analysis.classfacts.ClassFacts`. The in-memory
+    LRU is backed by an optional on-disk layer: one pickle per digest,
+    written atomically (temp file + ``os.replace``), promoted back into
+    memory on load. Unreadable or corrupt files count as misses.
+    """
+
+    def __init__(self, max_entries=None, cache_dir=None):
+        if max_entries is None:
+            max_entries = _env_max_entries()
+        if cache_dir is None:
+            cache_dir = _env_cache_dir()
+        self._store = _LruStore(max_entries)
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _path(self, digest):
+        return os.path.join(self.cache_dir, "cls_%s.pkl" % digest)
+
+    def _disk_load(self, digest):
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._path(digest), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def _disk_store(self, digest, facts):
+        if self.cache_dir is None:
+            return
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            path = self._path(digest)
+            tmp = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp, "wb") as handle:
+                pickle.dump(facts, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def _disk_digests(self):
+        if self.cache_dir is None:
+            return set()
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return set()
+        return {
+            name[len("cls_"):-len(".pkl")]
+            for name in names
+            if name.startswith("cls_") and name.endswith(".pkl")
+        }
+
+    # -- cache API -----------------------------------------------------------
+
+    def get(self, digest):
+        """The facts for one class digest, or None (counts hit/miss)."""
+        facts = self._store.get(digest)
+        if facts is None:
+            facts = self._disk_load(digest)
+            if facts is not None:
+                self._store.put(digest, facts)
+        if facts is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return facts
+
+    def peek(self, digest):
+        """Lookup without touching hit/miss accounting."""
+        facts = self._store.peek(digest)
+        if facts is None:
+            facts = self._disk_load(digest)
+        return facts
+
+    def put(self, digest, facts):
+        self._store.put(digest, facts)
+        self._disk_store(digest, facts)
+        return facts
+
+    def merge(self, facts_by_digest):
+        """Fold a worker shard's newly computed facts into this cache."""
+        for digest, facts in facts_by_digest.items():
+            if digest not in self._store:
+                self.put(digest, facts)
+
+    def known_digests(self):
+        """Every digest answerable without recomputation (memory + disk)."""
+        return set(self._store.entries) | self._disk_digests()
+
+    @property
+    def evictions(self):
+        return self._store.evictions
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self):
+        self._store.clear()
+
+    def __contains__(self, digest):
+        return digest in self._store or (
+            self.cache_dir is not None and os.path.exists(self._path(digest))
+        )
+
+    def __len__(self):
+        return len(self._store)
+
+    def __repr__(self):
+        return "ClassFactsCache(%d facts, %d hits, %d misses, %d evicted)" % (
+            len(self._store), self.hits, self.misses, self.evictions
+        )
 
 
 class AnalysisCache:
-    """In-memory analysis-result cache with hit/miss accounting."""
+    """In-memory analysis-result cache with hit/miss accounting.
 
-    def __init__(self):
-        self._entries = {}
+    The legacy single-tier API (``get``/``put`` on ``(sha256,
+    fingerprint)``) addresses the APK-outcome tier; the class-facts tier
+    hangs off :attr:`classes`. Both tiers honor
+    ``REPRO_CACHE_MAX_ENTRIES`` unless an explicit bound is given.
+    """
+
+    def __init__(self, max_entries=None, cache_dir=None, classes=None):
+        if max_entries is None:
+            max_entries = _env_max_entries()
+        self._entries = _LruStore(max_entries)
+        self.classes = (classes if classes is not None
+                        else ClassFactsCache(max_entries=max_entries,
+                                             cache_dir=cache_dir))
         self.hits = 0
         self.misses = 0
 
@@ -32,8 +231,16 @@ class AnalysisCache:
         return entry
 
     def put(self, sha256, fingerprint, value):
-        self._entries[self._key(sha256, fingerprint)] = value
+        self._entries.put(self._key(sha256, fingerprint), value)
         return value
+
+    @property
+    def evictions(self):
+        return self._entries.evictions
+
+    @property
+    def max_entries(self):
+        return self._entries.max_entries
 
     @property
     def hit_rate(self):
@@ -41,7 +248,8 @@ class AnalysisCache:
         return self.hits / total if total else 0.0
 
     def clear(self):
-        self._entries = {}
+        self._entries.clear()
+        self.classes.clear()
 
     def __len__(self):
         return len(self._entries)
@@ -50,6 +258,8 @@ class AnalysisCache:
         return key in self._entries
 
     def __repr__(self):
-        return "AnalysisCache(%d entries, %d hits, %d misses)" % (
-            len(self._entries), self.hits, self.misses
+        return ("AnalysisCache(%d entries, %d hits, %d misses, %d evicted; "
+                "classes: %r)") % (
+            len(self._entries), self.hits, self.misses, self.evictions,
+            self.classes,
         )

@@ -4,6 +4,9 @@
 matrix sets the former to exercise the parallel path on every push.
 ``REPRO_EXEC_BACKEND`` can pin a backend explicitly — ``auto`` (the
 default) picks processes only when more than one worker is requested.
+``REPRO_CLASS_CACHE`` toggles the content-addressed class-facts cache
+(on by default); the CI matrix runs a leg with it off to prove results
+are byte-identical either way.
 """
 
 import os
@@ -11,6 +14,7 @@ import os
 MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
 CHUNK_SIZE_ENV_VAR = "REPRO_CHUNK_SIZE"
 BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+CLASS_CACHE_ENV_VAR = "REPRO_CLASS_CACHE"
 
 BACKEND_AUTO = "auto"
 BACKEND_INLINE = "inline"
@@ -34,6 +38,18 @@ def _env_int(name, default):
         raise ExecConfigError("%s must be an integer, got %r" % (name, raw))
 
 
+def _env_flag(name, default):
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    raise ExecConfigError("%s must be a boolean flag, got %r" % (name, raw))
+
+
 class ExecConfig:
     """How a study shards its per-app work.
 
@@ -43,13 +59,16 @@ class ExecConfig:
     large corpora never pile up in the executor's queue.
     """
 
-    def __init__(self, max_workers=None, chunk_size=None, backend=None):
+    def __init__(self, max_workers=None, chunk_size=None, backend=None,
+                 class_cache=None):
         if max_workers is None:
             max_workers = _env_int(MAX_WORKERS_ENV_VAR, 1)
         if chunk_size is None:
             chunk_size = _env_int(CHUNK_SIZE_ENV_VAR, DEFAULT_CHUNK_SIZE)
         if backend is None:
             backend = os.environ.get(BACKEND_ENV_VAR, BACKEND_AUTO)
+        if class_cache is None:
+            class_cache = _env_flag(CLASS_CACHE_ENV_VAR, True)
         if max_workers < 1:
             raise ExecConfigError("max_workers must be >= 1, got %d"
                                   % max_workers)
@@ -63,6 +82,7 @@ class ExecConfig:
         self.max_workers = int(max_workers)
         self.chunk_size = int(chunk_size)
         self.backend = backend
+        self.class_cache = bool(class_cache)
 
     @property
     def resolved_backend(self):
@@ -79,6 +99,7 @@ class ExecConfig:
         return 2 * self.max_workers
 
     def __repr__(self):
-        return "ExecConfig(workers=%d, chunk=%d, backend=%s)" % (
-            self.max_workers, self.chunk_size, self.backend
+        return "ExecConfig(workers=%d, chunk=%d, backend=%s, class_cache=%s)" % (
+            self.max_workers, self.chunk_size, self.backend,
+            "on" if self.class_cache else "off",
         )

@@ -27,7 +27,7 @@ from repro.javasrc.ast import (
     Cast,
     FieldAccess,
 )
-from repro.javasrc.parser import parse_java
+from repro.javasrc.parser import parse_java, try_parse_java
 from repro.javasrc.codegen import generate_source
 
 __all__ = [
@@ -46,5 +46,6 @@ __all__ = [
     "Cast",
     "FieldAccess",
     "parse_java",
+    "try_parse_java",
     "generate_source",
 ]

@@ -43,6 +43,19 @@ def parse_java(source):
     return _Parser(tokenize(source)).parse_compilation_unit()
 
 
+def try_parse_java(source):
+    """Parse, returning None on syntax errors instead of raising.
+
+    The paper skips javalang failures per file rather than failing the
+    app; this is the entry seam the pipeline (and the per-class facts
+    computation) uses for that policy.
+    """
+    try:
+        return parse_java(source)
+    except JavaSyntaxError:
+        return None
+
+
 class _Parser:
     def __init__(self, tokens):
         self.tokens = tokens

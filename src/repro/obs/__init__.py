@@ -45,9 +45,14 @@ from repro.obs.report import (
     APPS_LISTED_METRIC,
     DROPS_METRIC,
     EXEC_BACKEND_METRIC,
+    EXEC_CACHE_EVICTIONS_METRIC,
     EXEC_CACHE_HITS_METRIC,
     EXEC_CACHE_MISSES_METRIC,
     EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CLASS_BYTES_DEDUPED_METRIC,
+    EXEC_CLASS_CACHE_HITS_METRIC,
+    EXEC_CLASS_CACHE_MISSES_METRIC,
+    EXEC_CLASS_TIME_SAVED_METRIC,
     EXEC_CRITICAL_PATH_METRIC,
     EXEC_QUEUE_DEPTH_METRIC,
     EXEC_TASKS_METRIC,
@@ -154,9 +159,14 @@ __all__ = [
     "Counter",
     "DROPS_METRIC",
     "EXEC_BACKEND_METRIC",
+    "EXEC_CACHE_EVICTIONS_METRIC",
     "EXEC_CACHE_HITS_METRIC",
     "EXEC_CACHE_MISSES_METRIC",
     "EXEC_CHUNK_SIZE_METRIC",
+    "EXEC_CLASS_BYTES_DEDUPED_METRIC",
+    "EXEC_CLASS_CACHE_HITS_METRIC",
+    "EXEC_CLASS_CACHE_MISSES_METRIC",
+    "EXEC_CLASS_TIME_SAVED_METRIC",
     "EXEC_CRITICAL_PATH_METRIC",
     "EXEC_QUEUE_DEPTH_METRIC",
     "EXEC_TASKS_METRIC",

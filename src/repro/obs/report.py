@@ -30,6 +30,15 @@ EXEC_WORKER_BUSY_METRIC = "repro_exec_worker_busy_seconds_total"
 EXEC_CRITICAL_PATH_METRIC = "repro_exec_critical_path_seconds"
 EXEC_CACHE_HITS_METRIC = "repro_exec_cache_hits_total"
 EXEC_CACHE_MISSES_METRIC = "repro_exec_cache_misses_total"
+EXEC_CACHE_EVICTIONS_METRIC = "repro_exec_cache_evictions_total"
+
+#: Class-level content-addressed cache metrics (repro.exec two-tier
+#: store), accounted deterministically by replaying per-APK digest
+#: streams in selection order — never from worker-local hit counts.
+EXEC_CLASS_CACHE_HITS_METRIC = "repro_exec_class_cache_hits_total"
+EXEC_CLASS_CACHE_MISSES_METRIC = "repro_exec_class_cache_misses_total"
+EXEC_CLASS_BYTES_DEDUPED_METRIC = "repro_exec_class_bytes_deduped_total"
+EXEC_CLASS_TIME_SAVED_METRIC = "repro_exec_class_time_saved_seconds_total"
 
 
 def elapsed_for(tracer, root_span):
@@ -89,6 +98,22 @@ def _exec_table(obs):
     table.add_row("cache hits", int(registry.value(EXEC_CACHE_HITS_METRIC)))
     table.add_row("cache misses",
                   int(registry.value(EXEC_CACHE_MISSES_METRIC)))
+    if registry.get(EXEC_CLASS_CACHE_HITS_METRIC) is not None:
+        hits = registry.value(EXEC_CLASS_CACHE_HITS_METRIC)
+        misses = registry.value(EXEC_CLASS_CACHE_MISSES_METRIC)
+        table.add_row("class-cache hits", int(hits))
+        table.add_row("class-cache misses", int(misses))
+        if hits + misses:
+            table.add_row("class-cache hit rate",
+                          "%.1f%%" % (100.0 * hits / (hits + misses)))
+        table.add_row("class bytes deduplicated",
+                      int(registry.value(EXEC_CLASS_BYTES_DEDUPED_METRIC)))
+        table.add_row("class time saved (clock s)", "%.3f"
+                      % registry.value(EXEC_CLASS_TIME_SAVED_METRIC))
+    for (tier,), count in sorted(
+        registry.label_values(EXEC_CACHE_EVICTIONS_METRIC).items()
+    ):
+        table.add_row("%s-cache evictions" % tier, int(count))
     table.add_row("queue depth peak",
                   int(registry.value(EXEC_QUEUE_DEPTH_METRIC)))
     busy = sum(registry.label_values(EXEC_WORKER_BUSY_METRIC).values())

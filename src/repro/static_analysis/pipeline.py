@@ -16,13 +16,26 @@ failures (a broken APK, a failed download, any :class:`ReproError` from
 analysis) are isolated into the drop taxonomy instead of aborting the
 run, results are aggregated in selection order so same-seed studies are
 byte-identical at any worker count, and outcomes are memoized in a
-SHA-256-keyed :class:`~repro.exec.AnalysisCache`.
+two-tier :class:`~repro.exec.AnalysisCache`: whole-APK outcomes keyed by
+``(sha256, options)`` on top, content-addressed per-class facts below.
+
+The class tier is what makes corpus-scale analysis cheap: the paper's
+SDK-concentration finding means the same class bytes recur across
+thousands of APKs, so each app's analysis composes memoized per-class
+facts (generated source, parsed ``extends`` entries, invoke summaries)
+with app-local resolution (superclass chains, entry-point traversal).
+Process-pool workers ship newly computed facts back with their results
+so the corpus-level cache warms across chunks. Results are byte-identical
+with the class cache on or off, at any worker count and backend — and
+class-cache metrics are accounted by a deterministic selection-order
+replay, never from scheduling-dependent worker-local counts.
 """
 
 import functools
 import time
 
 from repro.android import api
+from repro.apk.container import read_apk
 from repro.callgraph.builder import build_call_graph
 from repro.callgraph.entrypoints import entry_point_methods
 from repro.decompiler.jadx import Decompiler
@@ -31,6 +44,7 @@ from repro.errors import ReproError, RepositoryError, error_slug
 from repro.exec import (
     AnalysisCache,
     BACKEND_PROCESS,
+    ClassFactsCache,
     ExecConfig,
     make_pool,
     simulate_schedule,
@@ -40,9 +54,14 @@ from repro.obs import (
     APPS_LISTED_METRIC,
     DROPS_METRIC,
     EXEC_BACKEND_METRIC,
+    EXEC_CACHE_EVICTIONS_METRIC,
     EXEC_CACHE_HITS_METRIC,
     EXEC_CACHE_MISSES_METRIC,
     EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CLASS_BYTES_DEDUPED_METRIC,
+    EXEC_CLASS_CACHE_HITS_METRIC,
+    EXEC_CLASS_CACHE_MISSES_METRIC,
+    EXEC_CLASS_TIME_SAVED_METRIC,
     EXEC_CRITICAL_PATH_METRIC,
     EXEC_QUEUE_DEPTH_METRIC,
     EXEC_TASKS_METRIC,
@@ -52,12 +71,14 @@ from repro.obs import (
     TickClock,
     Tracer,
     bind_context,
+    current_tracer,
     default_obs,
     get_logger,
     trace_span,
     use_tracer,
 )
 from repro.sdk.labeling import SdkLabeler
+from repro.static_analysis.classfacts import FactsRecorder, facts_for_class
 from repro.static_analysis.deeplinks import (
     deep_link_class_names,
     is_excluded_caller,
@@ -67,7 +88,7 @@ from repro.static_analysis.results import (
     RecordedCall,
     StudyResult,
 )
-from repro.static_analysis.webview_usage import find_webview_subclasses
+from repro.static_analysis.webview_usage import webview_subclasses_from_entries
 
 
 class PipelineOptions:
@@ -101,29 +122,51 @@ def _is_webview_call(ref, subclasses):
 
 
 def analyze_apk_bytes(data, options=None, decompiler=None, category=None,
-                      installs=0):
+                      installs=0, facts_cache=None, recorder=None):
     """Run the per-APK analysis (Figure 1 steps 3-5) on APK bytes.
 
     Raises :class:`~repro.errors.BrokenApkError` for unanalyzable APKs.
+
+    The APK is parsed once; per-class work (decompile, parse, invoke
+    summarization) flows through :func:`facts_for_class`, served from
+    ``facts_cache`` by content digest when one is given. ``recorder``
+    collects the app's ordered digest stream plus any newly computed
+    facts, for worker ship-back and deterministic cache accounting.
+    Results are byte-identical with or without a cache.
     """
     options = options or PipelineOptions()
     decompiler = decompiler or Decompiler()
+    clock = current_tracer().clock
 
     with trace_span("decompile"):
-        decompiled = decompiler.decompile_bytes(data)
-        analysis = AppAnalysis(decompiled.package, category=category,
+        apk = read_apk(data)
+        decompiler.apks_attempted += 1
+        facts = [
+            facts_for_class(dex_class, decompiler, cache=facts_cache,
+                            recorder=recorder, clock=clock)
+            for dex_class in apk.dex.classes
+        ]
+        decompiler.apks_succeeded += 1
+        analysis = AppAnalysis(apk.package, category=category,
                                installs=installs)
-        analysis.class_count = len(decompiled.sources)
-
+        analysis.class_count = sum(
+            1 for class_facts in facts if class_facts.source is not None
+        )
         if options.subclass_detection:
-            analysis.webview_subclasses = find_webview_subclasses(decompiled)
+            analysis.webview_subclasses = webview_subclasses_from_entries(
+                [entry for class_facts in facts
+                 for entry in class_facts.web_entries]
+            )
 
-    manifest = decompiled.manifest
-    with trace_span("callgraph", package=decompiled.package):
-        dex = _read_dex(data)
-        graph = build_call_graph(dex)
+    dex = apk.dex
+    manifest = apk.manifest
+    with trace_span("callgraph", package=apk.package):
+        graph = build_call_graph(dex, method_summaries={
+            class_facts.class_name: class_facts.method_summary
+            for class_facts in facts
+        })
 
-    with trace_span("traverse", package=decompiled.package):
+    with trace_span("traverse", package=apk.package):
         reachable = None
         if options.entry_point_traversal:
             roots = [
@@ -137,39 +180,36 @@ def analyze_apk_bytes(data, options=None, decompiler=None, category=None,
             else set()
         )
 
-        for dex_class, method in dex.iter_methods():
-            caller = MethodRef(dex_class.name, method.name, method.descriptor)
-            caller_reachable = True
-            if reachable is not None:
-                caller_reachable = caller in reachable
-            caller_excluded = is_excluded_caller(dex_class.name,
+        for class_facts in facts:
+            caller_excluded = is_excluded_caller(class_facts.class_name,
                                                  excluded_names)
-            for ref in method.invoked_refs():
-                if _is_webview_call(ref, analysis.webview_subclasses):
-                    analysis.record(
-                        RecordedCall(
-                            RecordedCall.WEBVIEW, ref.method_name,
-                            dex_class.name, ref.class_name,
-                            reachable=caller_reachable,
-                            excluded=caller_excluded,
+            for method_name, descriptor, invokes in class_facts.method_summary:
+                caller = MethodRef(class_facts.class_name, method_name,
+                                   descriptor)
+                caller_reachable = True
+                if reachable is not None:
+                    caller_reachable = caller in reachable
+                for target in invokes:
+                    ref = MethodRef(*target)
+                    if _is_webview_call(ref, analysis.webview_subclasses):
+                        analysis.record(
+                            RecordedCall(
+                                RecordedCall.WEBVIEW, ref.method_name,
+                                class_facts.class_name, ref.class_name,
+                                reachable=caller_reachable,
+                                excluded=caller_excluded,
+                            )
                         )
-                    )
-                elif api.is_customtabs_init(ref):
-                    analysis.record(
-                        RecordedCall(
-                            RecordedCall.CUSTOMTABS, ref.method_name,
-                            dex_class.name, ref.class_name,
-                            reachable=caller_reachable,
-                            excluded=caller_excluded,
+                    elif api.is_customtabs_init(ref):
+                        analysis.record(
+                            RecordedCall(
+                                RecordedCall.CUSTOMTABS, ref.method_name,
+                                class_facts.class_name, ref.class_name,
+                                reachable=caller_reachable,
+                                excluded=caller_excluded,
+                            )
                         )
-                    )
     return analysis
-
-
-def _read_dex(data):
-    from repro.apk.container import read_apk
-
-    return read_apk(data).dex
 
 
 #: Drop-reason slugs for the metadata filters (steps 1-2). Pipeline-error
@@ -200,12 +240,15 @@ class AnalysisOutcome:
     ``error`` is a drop-taxonomy slug (None on success); ``spans`` holds
     the worker's exported span tree for process-backed runs so the study
     tracer can replay it; ``cacheable`` is False for download failures,
-    which must be retried on the next run.
+    which must be retried on the next run. ``class_digests`` is the
+    app's ordered class-digest stream and ``new_facts`` the facts this
+    task computed rather than reused — the worker ship-back that warms
+    the corpus-level class cache and feeds its deterministic accounting.
     """
 
     __slots__ = ("position", "sha256", "package", "analysis", "error",
                  "message", "cost", "spans", "span", "worker", "cached",
-                 "cacheable")
+                 "cacheable", "class_digests", "new_facts")
 
     def __init__(self, position, sha256, package, analysis, error=None,
                  message=None):
@@ -221,6 +264,8 @@ class AnalysisOutcome:
         self.worker = None
         self.cached = False
         self.cacheable = True
+        self.class_digests = None
+        self.new_facts = None
 
 
 class _CachedEntry:
@@ -237,14 +282,16 @@ class _CachedEntry:
 class _WorkerSettings:
     """Picklable knobs shipped to every worker invocation."""
 
-    __slots__ = ("options", "real_clock")
+    __slots__ = ("options", "real_clock", "class_cache")
 
-    def __init__(self, options, real_clock=False):
+    def __init__(self, options, real_clock=False, class_cache=True):
         self.options = options
         self.real_clock = real_clock
+        self.class_cache = class_cache
 
 
-def _execute_analysis(options, task, decompiler=None):
+def _execute_analysis(options, task, decompiler=None, facts_cache=None,
+                      recorder=None):
     """Run one task with per-app fault isolation.
 
     Any :class:`ReproError` (broken APK, decompilation failure, ...)
@@ -258,16 +305,37 @@ def _execute_analysis(options, task, decompiler=None):
             decompiler=decompiler,
             category=task.category,
             installs=task.installs,
+            facts_cache=facts_cache,
+            recorder=recorder,
         )
     except ReproError as exc:
         analysis = AppAnalysis(task.package, category=task.category,
                                installs=task.installs)
         analysis.failed = True
         analysis.failure_reason = str(exc)
-        return AnalysisOutcome(task.position, task.sha256, task.package,
-                               analysis, error_slug(exc), str(exc))
-    return AnalysisOutcome(task.position, task.sha256, task.package,
-                           analysis)
+        outcome = AnalysisOutcome(task.position, task.sha256, task.package,
+                                  analysis, error_slug(exc), str(exc))
+    else:
+        outcome = AnalysisOutcome(task.position, task.sha256, task.package,
+                                  analysis)
+    if recorder is not None:
+        outcome.class_digests = recorder.digests
+        outcome.new_facts = recorder.new
+    return outcome
+
+
+#: Process-local class-facts cache for pool workers. Workers fork with
+#: it unset and die with the pool, so it deduplicates across the chunks
+#: one worker processes within a single run — the parent merges each
+#: task's shipped ``new_facts`` to cover everything else.
+_WORKER_FACTS = None
+
+
+def _worker_facts_cache():
+    global _WORKER_FACTS
+    if _WORKER_FACTS is None:
+        _WORKER_FACTS = ClassFactsCache(max_entries=None, cache_dir=None)
+    return _WORKER_FACTS
 
 
 def _run_analysis_task(settings, task):
@@ -280,9 +348,13 @@ def _run_analysis_task(settings, task):
     """
     clock = time.perf_counter if settings.real_clock else TickClock()
     tracer = Tracer(clock=clock)
+    facts_cache = _worker_facts_cache() if settings.class_cache else None
+    recorder = FactsRecorder() if settings.class_cache else None
     with use_tracer(tracer), bind_context(package=task.package):
         with tracer.span("analyze_app", package=task.package) as root:
-            outcome = _execute_analysis(settings.options, task)
+            outcome = _execute_analysis(settings.options, task,
+                                        facts_cache=facts_cache,
+                                        recorder=recorder)
     outcome.cost = root.duration
     outcome.spans = [root.to_dict()]
     return outcome
@@ -401,12 +473,15 @@ class StaticAnalysisPipeline:
         result.popular = funnel["with_100k_downloads"]
         result.selected = funnel["updated_after_2021"]
 
+        evictions_before = (self.cache.evictions,
+                            self.cache.classes.evictions)
         outcomes = self._execute(selected)
         fingerprint = self.options.cache_key()
         for position, outcome in enumerate(outcomes):
             self._aggregate(result, outcome, fingerprint)
             if progress is not None and (position + 1) % 200 == 0:
                 progress(position + 1, len(selected))
+        self._record_eviction_metrics(evictions_before)
 
         run_span.set_attribute("analyzed", result.analyzed)
         run_span.set_attribute("broken", result.broken)
@@ -426,6 +501,9 @@ class StaticAnalysisPipeline:
         without touching the pool.
         """
         fingerprint = self.options.cache_key()
+        class_enabled = self.exec_config.class_cache
+        prior_digests = (self.cache.classes.known_digests()
+                         if class_enabled else ())
         outcomes = [None] * len(selected)
         tasks = []
         for position, (row, listing) in enumerate(selected):
@@ -463,6 +541,8 @@ class StaticAnalysisPipeline:
                 outcome.span.set_attribute("worker", "w%d" % worker)
             outcomes[outcome.position] = outcome
         self._record_exec_metrics(outcomes, len(tasks), schedule)
+        if class_enabled:
+            self._record_class_metrics(outcomes, prior_digests)
         return outcomes
 
     def _run_tasks(self, tasks):
@@ -471,6 +551,7 @@ class StaticAnalysisPipeline:
         settings = _WorkerSettings(
             self.options,
             real_clock=not isinstance(self.obs.clock, TickClock),
+            class_cache=self.exec_config.class_cache,
         )
         with self.obs.span("execute", backend=pool.name,
                            workers=self.exec_config.max_workers,
@@ -483,10 +564,14 @@ class StaticAnalysisPipeline:
 
     def _inline_task(self, settings, task):
         """In-process execution path: trace into the study tracer."""
+        facts_cache = self.cache.classes if settings.class_cache else None
+        recorder = FactsRecorder() if settings.class_cache else None
         with bind_context(package=task.package), \
                 self.obs.span("analyze_app", package=task.package) as span:
             outcome = _execute_analysis(settings.options, task,
-                                        decompiler=self.decompiler)
+                                        decompiler=self.decompiler,
+                                        facts_cache=facts_cache,
+                                        recorder=recorder)
         outcome.cost = span.duration
         outcome.span = span
         return outcome
@@ -583,3 +668,67 @@ class StaticAnalysisPipeline:
             EXEC_CRITICAL_PATH_METRIC,
             "Makespan of the (simulated greedy) worker schedule.",
         ).set(schedule.critical_path)
+
+    def _record_class_metrics(self, outcomes, prior):
+        """Deterministic class-cache accounting by selection-order replay.
+
+        Worker-local hit counts depend on chunk scheduling, so they never
+        feed metrics. Instead: merge every task's shipped facts into the
+        corpus cache, then replay each outcome's ordered digest stream in
+        selection order — a digest is a hit iff it was cached before this
+        run or already seen earlier in the replay. The result is
+        byte-identical at any worker count and backend.
+        """
+        classes = self.cache.classes
+        for outcome in outcomes:
+            if outcome.new_facts:
+                classes.merge(outcome.new_facts)
+        prior = set(prior)
+        seen = set()
+        hits = misses = 0
+        deduped = 0
+        saved = 0.0
+        for outcome in outcomes:
+            if not outcome.class_digests:
+                continue
+            for digest in outcome.class_digests:
+                if digest in prior or digest in seen:
+                    hits += 1
+                    facts = classes.peek(digest)
+                    if facts is not None:
+                        deduped += facts.canonical_size
+                        saved += facts.cost
+                else:
+                    misses += 1
+                    seen.add(digest)
+        self.obs.counter(
+            EXEC_CLASS_CACHE_HITS_METRIC,
+            "Class-facts lookups served without recomputation.",
+        ).inc(hits)
+        self.obs.counter(
+            EXEC_CLASS_CACHE_MISSES_METRIC,
+            "Class-facts lookups that computed fresh facts.",
+        ).inc(misses)
+        self.obs.counter(
+            EXEC_CLASS_BYTES_DEDUPED_METRIC,
+            "Canonical class bytes not re-analyzed thanks to the cache.",
+        ).inc(deduped)
+        self.obs.counter(
+            EXEC_CLASS_TIME_SAVED_METRIC,
+            "Estimated clock units saved by class-facts reuse.",
+        ).inc(saved)
+
+    def _record_eviction_metrics(self, before):
+        """Per-tier LRU eviction deltas for this run (nonzero only)."""
+        apk_before, class_before = before
+        counter = self.obs.counter(
+            EXEC_CACHE_EVICTIONS_METRIC,
+            "LRU evictions from the two-tier analysis cache, by tier.",
+            ("tier",),
+        )
+        apk_delta = self.cache.evictions - apk_before
+        class_delta = self.cache.classes.evictions - class_before
+        if apk_delta:
+            counter.labels(tier="apk").inc(apk_delta)
+        if class_delta:
+            counter.labels(tier="class").inc(class_delta)

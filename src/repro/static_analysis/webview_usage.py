@@ -6,41 +6,60 @@ those subclasses' inherited ``loadUrl``/... must count as WebView usage,
 which bytecode alone cannot decide when the subclass hierarchy is only
 visible in source — this is the pipeline step that makes decompilation
 load-bearing.
+
+The work splits along the class-cache seam: the screen + parse + import
+resolution for one source file is a pure function of its text
+(:func:`class_web_source_facts`, memoized corpus-wide as part of each
+class's facts), while the transitive subclass closure depends on every
+class in the app and stays per-APK
+(:func:`webview_subclasses_from_entries`).
 """
 
 from repro.android.api import WEBVIEW_CLASS
-from repro.errors import JavaSyntaxError
-from repro.javasrc.parser import parse_java
+from repro.javasrc.parser import try_parse_java
 
 
-def find_webview_subclasses(decompiled_app):
-    """Return the qualified names of classes extending WebView.
+def class_web_source_facts(source):
+    """``(qualified_name, resolved_extends)`` entries for one source file.
 
-    Follows the paper's two-phase approach: (1) cheap textual screen for
-    files importing/naming ``android.webkit.WebView``; (2) full parse of
-    the screened files and import-resolved ``extends`` checks. Transitive
-    subclasses (A extends B extends WebView) are resolved iteratively.
-    Files that fail to parse are skipped, as javalang failures were.
+    Phase (1)-(2) of the paper's approach for a single decompiled class:
+    a cheap textual screen for files importing/naming
+    ``android.webkit.WebView``, then a full parse with import-resolved
+    ``extends``. Screened-out files and parse failures yield no entries
+    (javalang failures were skipped the same way). Pure in the source
+    text, so the result is cacheable under the class's content digest.
+    """
+    if WEBVIEW_CLASS.rsplit(".", 1)[0] not in source and "WebView" not in source:
+        return ()
+    unit = try_parse_java(source)
+    if unit is None:
+        return ()
+    entries = []
+    for class_decl in _iter_class_decls(unit):
+        if class_decl.extends is None:
+            continue
+        entries.append((
+            _qualified_name(unit, class_decl),
+            unit.resolve_type(class_decl.extends),
+        ))
+    return tuple(entries)
+
+
+def webview_subclasses_from_entries(entries):
+    """Resolve the app-wide subclass set from per-class extends entries.
+
+    Transitive subclasses (A extends B extends WebView) are resolved
+    iteratively — this closure needs every class in the app, which is
+    exactly why it stays per-APK while the entries themselves are
+    memoized per class.
     """
     direct = set()
     extends_map = {}
-    for class_name, source in decompiled_app.sources.items():
-        if WEBVIEW_CLASS.rsplit(".", 1)[0] not in source and "WebView" not in source:
-            continue
-        try:
-            unit = parse_java(source)
-        except JavaSyntaxError:
-            continue
-        for class_decl in _iter_class_decls(unit):
-            qualified = _qualified_name(unit, class_decl)
-            if class_decl.extends is None:
-                continue
-            resolved = unit.resolve_type(class_decl.extends)
-            extends_map[qualified] = resolved
-            if resolved == WEBVIEW_CLASS:
-                direct.add(qualified)
+    for qualified, resolved in entries:
+        extends_map[qualified] = resolved
+        if resolved == WEBVIEW_CLASS:
+            direct.add(qualified)
 
-    # Transitive closure: classes extending a detected subclass.
     subclasses = set(direct)
     changed = True
     while changed:
@@ -50,6 +69,14 @@ def find_webview_subclasses(decompiled_app):
                 subclasses.add(qualified)
                 changed = True
     return subclasses
+
+
+def find_webview_subclasses(decompiled_app):
+    """Return the qualified names of classes extending WebView."""
+    entries = []
+    for source in decompiled_app.sources.values():
+        entries.extend(class_web_source_facts(source))
+    return webview_subclasses_from_entries(entries)
 
 
 def _iter_class_decls(unit):
