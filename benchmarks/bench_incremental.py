@@ -1,0 +1,158 @@
+"""Benchmark of the longitudinal engine: cold vs delta vs resumed runs.
+
+Not a paper table — this tracks what the incremental machinery actually
+buys: wall-clock latency of a cold full run vs a delta run over an
+evolved snapshot, the fraction of apps the delta planner skips, and the
+RunStore/cache hit rates. The acceptance bar from the engine's contract
+is asserted here too: a delta run analyzes at most 25% of the cold run's
+apps and its merged StudyResult is byte-identical to a cold full run of
+the same snapshot.
+
+The universe size is overridable for CI smoke runs via
+``REPRO_BENCH_UNIVERSE``; the JSON summary lands in
+``BENCH_incremental.json`` (override with ``REPRO_BENCH_JSON``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.corpus import CorpusConfig, evolve_corpus, generate_corpus
+from repro.longitudinal import IncrementalRunner, RunStore
+from repro.obs import Obs
+from repro.static_analysis.export import export_study_json
+from repro.static_analysis.pipeline import StaticAnalysisPipeline
+
+BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__),
+                                  "BENCH_incremental.json")
+UNIVERSE_ENV_VAR = "REPRO_BENCH_UNIVERSE"
+UNIVERSE_DEFAULT = 12_000
+
+SNAPSHOT_DATES = ("2023-04-13", "2023-07-13")
+
+
+def _universe_size():
+    raw = os.environ.get(UNIVERSE_ENV_VAR)
+    try:
+        value = int(raw) if raw else 0
+    except ValueError:
+        value = 0
+    return value if value > 0 else UNIVERSE_DEFAULT
+
+
+@pytest.fixture(scope="module")
+def bench_json():
+    """Collects measurements; written out when the module finishes."""
+    data = {"benchmark": "incremental", "universe_size": _universe_size()}
+    yield data
+    path = os.environ.get(BENCH_JSON_ENV_VAR) or BENCH_JSON_DEFAULT
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _timeline():
+    corpus = generate_corpus(CorpusConfig(universe_size=_universe_size()),
+                             obs=Obs())
+    return evolve_corpus(corpus, SNAPSHOT_DATES)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+def test_cold_vs_delta(bench_json, tmp_path):
+    timeline = _timeline()
+    runner = IncrementalRunner(
+        timeline.corpus, run_store=RunStore(str(tmp_path)),
+        obs=Obs(clock=time.perf_counter),
+    )
+
+    cold, cold_seconds = _timed(runner.run_snapshot, timeline.dates[0])
+    deltas = []
+    for date in timeline.dates[1:]:
+        run, seconds = _timed(runner.run_snapshot, date)
+        deltas.append((run, seconds))
+
+    # Contract: the delta run does at most a quarter of the cold work...
+    for run, _ in deltas:
+        assert run.mode == "delta"
+        assert run.fresh <= 0.25 * cold.fresh, (
+            "delta run analyzed %d of %d apps" % (run.fresh, cold.fresh)
+        )
+
+    # ...and merging carried + fresh outcomes is byte-identical to a
+    # cold full run of the same snapshot on an identically evolved
+    # universe.
+    check = _timeline()
+    cold_second_snapshot = StaticAnalysisPipeline(
+        check.corpus, snapshot_date=check.dates[1], obs=Obs(),
+    ).run()
+    assert (export_study_json(deltas[0][0].result)
+            == export_study_json(cold_second_snapshot))
+
+    first_delta, first_delta_seconds = deltas[0]
+    skipped = first_delta.carried + first_delta.resumed
+    speedup = cold_seconds / first_delta_seconds if first_delta_seconds else 0
+    print()
+    print("cold run:  %d apps analyzed in %.3fs"
+          % (cold.fresh, cold_seconds))
+    for run, seconds in deltas:
+        print("delta %s: %d fresh, %d carried (%.1f%% skipped) in %.3fs"
+              % (run.snapshot_date, run.fresh, run.carried,
+                 100.0 * (1 - run.analyzed_fraction), seconds))
+    print("delta speedup vs cold: %.2fx" % speedup)
+
+    bench_json["cold"] = {
+        "apps_analyzed": cold.fresh,
+        "seconds": round(cold_seconds, 6),
+    }
+    bench_json["deltas"] = [
+        {
+            "snapshot": run.snapshot_date.isoformat(),
+            "apps_fresh": run.fresh,
+            "apps_skipped": run.carried + run.resumed,
+            "analyzed_fraction": round(run.analyzed_fraction, 4),
+            "seconds": round(seconds, 6),
+        }
+        for run, seconds in deltas
+    ]
+    bench_json["delta_speedup"] = round(speedup, 2)
+    bench_json["apps_skipped"] = skipped
+    bench_json["byte_identical_to_cold"] = True
+
+
+def test_store_replay_latency(bench_json, tmp_path):
+    """Replaying a fully stored snapshot: the carried-forward fast path."""
+    timeline = _timeline()
+    store_dir = str(tmp_path / "replay")
+    first = IncrementalRunner(timeline.corpus,
+                              run_store=RunStore(store_dir), obs=Obs())
+    baseline, _ = _timed(first.run_snapshot, timeline.dates[0])
+
+    # Fresh corpus + store instances: everything must come off disk.
+    replay_timeline = _timeline()
+    second = IncrementalRunner(replay_timeline.corpus,
+                               run_store=RunStore(store_dir), obs=Obs())
+    replayed, replay_seconds = _timed(second.run_snapshot,
+                                      replay_timeline.dates[0])
+    assert replayed.fresh == 0
+    assert replayed.carried == baseline.planned
+    assert (export_study_json(replayed.result)
+            == export_study_json(baseline.result))
+
+    hit_rate = (replayed.carried / replayed.planned
+                if replayed.planned else 0.0)
+    print()
+    print("store replay: %d apps carried in %.3fs (hit rate %.1f%%)"
+          % (replayed.carried, replay_seconds, 100 * hit_rate))
+    bench_json["replay"] = {
+        "apps_carried": replayed.carried,
+        "seconds": round(replay_seconds, 6),
+        "store_hit_rate": round(hit_rate, 4),
+    }

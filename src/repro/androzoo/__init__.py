@@ -1,5 +1,17 @@
 """AndroZoo-like APK repository substrate."""
 
-from repro.androzoo.repository import AndroZooRepository, IndexRow, Snapshot
+from repro.androzoo.repository import (
+    AndroZooRepository,
+    IndexRow,
+    Snapshot,
+    SnapshotDelta,
+    diff_snapshots,
+)
 
-__all__ = ["AndroZooRepository", "IndexRow", "Snapshot"]
+__all__ = [
+    "AndroZooRepository",
+    "IndexRow",
+    "Snapshot",
+    "SnapshotDelta",
+    "diff_snapshots",
+]

@@ -26,8 +26,14 @@ class IndexRow:
         self.sha256 = sha256
         self.package = package
         self.version_code = int(version_code)
+        # Normalize to datetime.date: the index CSV carries bare dates,
+        # but callers also hand in datetimes (datetime is a *subclass*
+        # of date, so the subclass check must come first). Mixing the
+        # two would make snapshot(date) comparisons raise TypeError.
         if isinstance(dex_date, str):
             dex_date = datetime.date.fromisoformat(dex_date)
+        elif isinstance(dex_date, datetime.datetime):
+            dex_date = dex_date.date()
         self.dex_date = dex_date
         self.markets = tuple(markets)
         self.apk_size = apk_size
@@ -43,11 +49,20 @@ class IndexRow:
 
 
 class Snapshot:
-    """A dated, immutable view of the repository index."""
+    """A dated, immutable view of the repository index.
+
+    Rows are stored in a canonical ``(package, version_code, sha256)``
+    order regardless of generator insertion order, so snapshot listings,
+    diffs and resumed runs iterate identically no matter how the index
+    was assembled.
+    """
 
     def __init__(self, date, rows):
         self.date = date
-        self.rows = tuple(rows)
+        self.rows = tuple(sorted(
+            rows, key=lambda row: (row.package, row.version_code, row.sha256)
+        ))
+        self._latest = {}
 
     def packages(self, market=None):
         """Distinct package names, optionally restricted to one market."""
@@ -61,6 +76,27 @@ class Snapshot:
                 ordered.append(row.package)
         return ordered
 
+    def latest_rows(self, market=None):
+        """package -> most recent archived row, in one pass (memoized).
+
+        The winner per package is the highest ``(version_code,
+        dex_date)`` pair; the canonical row order breaks any remaining
+        ties by sha256.
+        """
+        cached = self._latest.get(market)
+        if cached is None:
+            cached = {}
+            for row in self.rows:
+                if market is not None and market not in row.markets:
+                    continue
+                best = cached.get(row.package)
+                if best is None or (row.version_code, row.dex_date) >= (
+                    best.version_code, best.dex_date
+                ):
+                    cached[row.package] = row
+            self._latest[market] = cached
+        return cached
+
     def latest_version(self, package, market=None):
         """The most recent archived row for ``package`` (None if absent).
 
@@ -69,20 +105,80 @@ class Snapshot:
         newer sideloaded/alternative-market archive of the same package
         can never win the version pick.
         """
-        best = None
-        for row in self.rows:
-            if row.package != package:
-                continue
-            if market is not None and market not in row.markets:
-                continue
-            if best is None or (row.version_code, row.dex_date) > (
-                best.version_code, best.dex_date
-            ):
-                best = row
-        return best
+        return self.latest_rows(market).get(package)
 
     def __len__(self):
         return len(self.rows)
+
+
+class SnapshotDelta:
+    """The package-level difference between two dated snapshots.
+
+    Computed over each package's *latest* archived row (the version the
+    pipeline would download), so an app counts as ``updated`` exactly
+    when a re-run would fetch a different APK. Every bucket holds sorted
+    package names; ``new_rows`` maps each added/updated package to the
+    row the newer snapshot would analyze.
+    """
+
+    def __init__(self, old, new, added, updated, removed, unchanged,
+                 new_rows):
+        self.old = old
+        self.new = new
+        self.added = added
+        self.updated = updated
+        self.removed = removed
+        self.unchanged = unchanged
+        self.new_rows = new_rows
+
+    @property
+    def changed(self):
+        """Packages whose APK a fresh run must (re-)analyze."""
+        return self.added + self.updated
+
+    def counts(self):
+        return {
+            "added": len(self.added),
+            "updated": len(self.updated),
+            "removed": len(self.removed),
+            "unchanged": len(self.unchanged),
+        }
+
+    def __repr__(self):
+        return "SnapshotDelta(+%d ~%d -%d =%d)" % (
+            len(self.added), len(self.updated), len(self.removed),
+            len(self.unchanged),
+        )
+
+
+def diff_snapshots(old, new, market=PLAY_MARKET):
+    """Diff two snapshots into added / updated / removed / unchanged.
+
+    ``old`` may be None for a cold start, in which case every package in
+    ``new`` is added. The delta is what the longitudinal planner feeds
+    the scheduler: only added/updated packages need analysis, everything
+    unchanged is carried forward from the prior run.
+    """
+    old_latest = old.latest_rows(market) if old is not None else {}
+    new_latest = new.latest_rows(market)
+    added, updated, removed, unchanged = [], [], [], []
+    new_rows = {}
+    for package in sorted(new_latest):
+        row = new_latest[package]
+        prior = old_latest.get(package)
+        if prior is None:
+            added.append(package)
+            new_rows[package] = row
+        elif prior.sha256 != row.sha256:
+            updated.append(package)
+            new_rows[package] = row
+        else:
+            unchanged.append(package)
+    for package in sorted(old_latest):
+        if package not in new_latest:
+            removed.append(package)
+    return SnapshotDelta(old, new, added, updated, removed, unchanged,
+                         new_rows)
 
 
 class AndroZooRepository:

@@ -10,7 +10,13 @@ Figures 3-4). The static pipeline re-measures everything from the APK bytes.
 from repro.corpus.config import CorpusConfig, FunnelRatios
 from repro.corpus.profiles import AppSpec, SdkUse, generate_specs
 from repro.corpus.appgen import build_app_apk
-from repro.corpus.generator import Corpus, generate_corpus
+from repro.corpus.generator import Corpus, generate_corpus, publish_spec
+from repro.corpus.evolution import (
+    ChurnConfig,
+    SnapshotStep,
+    Timeline,
+    evolve_corpus,
+)
 
 __all__ = [
     "CorpusConfig",
@@ -21,4 +27,9 @@ __all__ = [
     "build_app_apk",
     "Corpus",
     "generate_corpus",
+    "publish_spec",
+    "ChurnConfig",
+    "SnapshotStep",
+    "Timeline",
+    "evolve_corpus",
 ]

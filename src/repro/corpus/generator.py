@@ -17,6 +17,7 @@ from repro.obs import default_obs, get_logger
 from repro.playstore.models import AppListing
 from repro.playstore.store import PlayStore
 from repro.sdk.catalog import build_catalog
+from repro.util import sha256_hex
 
 #: Universe composition counter, labelled by spec disposition.
 CORPUS_SPECS_METRIC = "repro_corpus_specs_total"
@@ -28,17 +29,43 @@ class Corpus:
     def __init__(self, config, catalog, specs, store, repository):
         self.config = config
         self.catalog = catalog
-        self.specs = specs
+        self.specs = list(specs)
         self.store = store
         self.repository = repository
         #: Shared per-corpus analysis-result cache (see repro.exec):
         #: every pipeline run over this corpus reuses prior per-APK
         #: outcomes keyed by (sha256, pipeline options).
         self.analysis_cache = AnalysisCache()
+        #: Set by :func:`repro.corpus.evolution.evolve_corpus`: digests
+        #: the churn applied on top of the base universe, so the corpus
+        #: fingerprint distinguishes differently evolved timelines.
+        self.evolution_token = None
         self._by_package = {spec.package: spec for spec in specs}
 
     def spec_for(self, package):
         return self._by_package.get(package)
+
+    def add_spec(self, spec):
+        """Register a spec added after generation (snapshot evolution)."""
+        self.specs.append(spec)
+        self._by_package[spec.package] = spec
+        return spec
+
+    def fingerprint(self):
+        """Content identity of this universe, for persistent run stores.
+
+        Lazy APK payloads derive their sha256 from ``package:version``
+        rather than real bytes, so two corpora with different seeds (or
+        different evolution histories) can collide on sha256 while their
+        bytes differ. Persistent stores key outcomes under this
+        fingerprint as well, making a shared ``REPRO_RUN_STORE``
+        directory safe across corpora.
+        """
+        material = repr((
+            "corpus", self.config.seed, self.config.universe_size,
+            str(self.config.snapshot_date), self.evolution_token,
+        ))
+        return sha256_hex(material.encode("utf-8"))[:16]
 
     def selected_specs(self):
         """Ground truth for apps surviving the Table 2 filters."""
@@ -86,34 +113,61 @@ def generate_corpus(config=None, catalog=None, obs=None):
     return corpus
 
 
+def base_version_code(spec):
+    """The version code the generator archives a spec under."""
+    return max(1, spec.index % 90)
+
+
+def publish_spec(store, repository, spec, seed, version_code=None,
+                 dex_date=None, apk_seed=None):
+    """Publish one spec's listing and archive its APK index row.
+
+    The shared assembly step for both initial generation and snapshot
+    evolution: ``version_code`` / ``dex_date`` / ``apk_seed`` default to
+    the generator's values and are overridden when archiving an updated
+    version of an already-published app. The Play listing always carries
+    ``spec.updated`` — the declared update date drives the Table 2
+    maintenance filter, so it must stay consistent with the spec's
+    ``maintained`` flag — while ``dex_date`` overrides only the AndroZoo
+    index row (the crawler can see an APK long after its release).
+    Payloads stay lazy for selected specs; everything else archives a
+    cheap stub.
+    """
+    if spec.listed:
+        store.publish(
+            AppListing(
+                spec.package,
+                spec.title,
+                spec.category,
+                spec.installs,
+                spec.updated,
+                developer="dev.%s" % spec.package.split(".")[1],
+            )
+        )
+    else:
+        store.delist(spec.package)
+
+    # AndroZoo archived every app it ever saw on the Play Store;
+    # full payloads are synthesized lazily for selected apps only.
+    if version_code is None:
+        version_code = base_version_code(spec)
+    if spec.selected:
+        payload = functools.partial(
+            build_app_apk, spec, seed if apk_seed is None else apk_seed
+        )
+    else:
+        payload = b"APKSTUB:%s:%d" % (
+            spec.package.encode("utf-8"), version_code
+        )
+    return repository.archive(
+        spec.package, version_code,
+        spec.updated if dex_date is None else dex_date, payload,
+    )
+
+
 def _assemble(config, catalog, specs):
     store = PlayStore()
     repository = AndroZooRepository()
-
     for spec in specs:
-        if spec.listed:
-            store.publish(
-                AppListing(
-                    spec.package,
-                    spec.title,
-                    spec.category,
-                    spec.installs,
-                    spec.updated,
-                    developer="dev.%s" % spec.package.split(".")[1],
-                )
-            )
-        else:
-            store.delist(spec.package)
-
-        # AndroZoo archived every app it ever saw on the Play Store;
-        # full payloads are synthesized lazily for selected apps only.
-        version_code = max(1, spec.index % 90)
-        if spec.selected:
-            payload = functools.partial(build_app_apk, spec, config.seed)
-        else:
-            payload = b"APKSTUB:" + spec.package.encode("utf-8")
-        repository.archive(
-            spec.package, version_code, spec.updated, payload
-        )
-
+        publish_spec(store, repository, spec, config.seed)
     return Corpus(config, catalog, specs, store, repository)

@@ -24,14 +24,21 @@ from repro.exec.config import BACKEND_INLINE, BACKEND_PROCESS
 
 
 class WorkerPool:
-    """Interface: map ``fn`` over ``items``, results in input order."""
+    """Interface: map ``fn`` over ``items``, results in input order.
+
+    ``on_result`` is an optional callable invoked in the parent process
+    with each result as it completes — in *completion* order, which for
+    the process backend can differ from input order. The pipeline's
+    checkpoint hook hangs off it: progress is persisted while the pool
+    is still draining, so a killed run can resume instead of restarting.
+    """
 
     name = None
 
     def __init__(self, config):
         self.config = config
 
-    def map(self, items, fn):
+    def map(self, items, fn, on_result=None):
         raise NotImplementedError
 
 
@@ -40,8 +47,14 @@ class InlinePool(WorkerPool):
 
     name = BACKEND_INLINE
 
-    def map(self, items, fn):
-        return [fn(item) for item in items]
+    def map(self, items, fn, on_result=None):
+        results = []
+        for item in items:
+            value = fn(item)
+            results.append(value)
+            if on_result is not None:
+                on_result(value)
+        return results
 
 
 def _run_chunk(fn, chunk):
@@ -61,7 +74,7 @@ class ProcessPool(WorkerPool):
 
     name = BACKEND_PROCESS
 
-    def map(self, items, fn):
+    def map(self, items, fn, on_result=None):
         items = list(items)
         results = [None] * len(items)
         if not items:
@@ -90,6 +103,8 @@ class ProcessPool(WorkerPool):
                     start = pending.pop(future)
                     for offset, value in enumerate(future.result()):
                         results[start + offset] = value
+                        if on_result is not None:
+                            on_result(value)
                     if position < len(chunks):
                         submit_next()
                         position += 1

@@ -1,0 +1,42 @@
+"""Incremental multi-snapshot study engine (see DESIGN.md §11).
+
+Turns the one-shot static study into a longitudinal one: a persistent
+:class:`RunStore` keeps completed per-APK outcomes and run manifests, a
+delta planner (:class:`IncrementalRunner`) schedules analysis only for
+APKs that changed between AndroZoo snapshots, mid-run checkpoints make
+killed runs resumable, and :class:`TrendSeries` aggregates the
+per-snapshot results into adoption-trend tables. Delta and resumed runs
+produce :class:`~repro.static_analysis.results.StudyResult`s
+byte-identical to cold full runs — the engine changes cost, never
+results.
+"""
+
+from repro.longitudinal.runstore import (
+    RUN_STORE_ENV_VAR,
+    CheckpointSink,
+    RunHandle,
+    RunStore,
+    StoreBackedCache,
+    options_token,
+)
+from repro.longitudinal.delta import IncrementalRun, IncrementalRunner
+from repro.longitudinal.trends import SnapshotPoint, TrendSeries
+from repro.longitudinal.study import (
+    DEFAULT_SNAPSHOT_DATES,
+    LongitudinalStudy,
+)
+
+__all__ = [
+    "RUN_STORE_ENV_VAR",
+    "CheckpointSink",
+    "RunHandle",
+    "RunStore",
+    "StoreBackedCache",
+    "options_token",
+    "IncrementalRun",
+    "IncrementalRunner",
+    "SnapshotPoint",
+    "TrendSeries",
+    "DEFAULT_SNAPSHOT_DATES",
+    "LongitudinalStudy",
+]

@@ -58,6 +58,10 @@ from repro.obs.report import (
     EXEC_TASKS_METRIC,
     EXEC_WORKER_BUSY_METRIC,
     EXEC_WORKERS_METRIC,
+    LONGITUDINAL_APPS_METRIC,
+    LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC,
+    LONGITUDINAL_DELTA_METRIC,
+    LONGITUDINAL_RUNS_METRIC,
     STAGE_CALLS_METRIC,
     STAGE_ERRORS_METRIC,
     STAGE_SECONDS_METRIC,
@@ -167,6 +171,10 @@ __all__ = [
     "EXEC_CLASS_CACHE_HITS_METRIC",
     "EXEC_CLASS_CACHE_MISSES_METRIC",
     "EXEC_CLASS_TIME_SAVED_METRIC",
+    "LONGITUDINAL_APPS_METRIC",
+    "LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC",
+    "LONGITUDINAL_DELTA_METRIC",
+    "LONGITUDINAL_RUNS_METRIC",
     "EXEC_CRITICAL_PATH_METRIC",
     "EXEC_QUEUE_DEPTH_METRIC",
     "EXEC_TASKS_METRIC",

@@ -40,6 +40,14 @@ EXEC_CLASS_CACHE_MISSES_METRIC = "repro_exec_class_cache_misses_total"
 EXEC_CLASS_BYTES_DEDUPED_METRIC = "repro_exec_class_bytes_deduped_total"
 EXEC_CLASS_TIME_SAVED_METRIC = "repro_exec_class_time_saved_seconds_total"
 
+#: Longitudinal engine metrics (repro.longitudinal), fed per snapshot run.
+LONGITUDINAL_APPS_METRIC = "repro_longitudinal_apps_total"
+LONGITUDINAL_DELTA_METRIC = "repro_longitudinal_delta_apps_total"
+LONGITUDINAL_RUNS_METRIC = "repro_longitudinal_runs_total"
+LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC = (
+    "repro_longitudinal_checkpoint_flushes_total"
+)
+
 
 def elapsed_for(tracer, root_span):
     """Total duration of every span named ``root_span`` in the forest."""
@@ -61,6 +69,9 @@ def render_run_report(obs, title, items_label="apps", items_count=0,
     execution = _exec_table(obs)
     if execution is not None:
         sections.append(execution)
+    longitudinal = _longitudinal_table(obs)
+    if longitudinal is not None:
+        sections.append(longitudinal)
     drops = _drop_table(obs, drop_metric)
     if drops is not None:
         sections.append(drops)
@@ -122,6 +133,36 @@ def _exec_table(obs):
     table.add_row("critical path (clock s)", "%.3f" % critical)
     if critical:
         table.add_row("parallel speedup", "%.2fx" % (busy / critical))
+    return table
+
+
+def _longitudinal_table(obs):
+    """Incremental-engine summary, rendered only for longitudinal runs."""
+    registry = obs.registry
+    modes = registry.label_values(LONGITUDINAL_APPS_METRIC)
+    if not modes:
+        return None
+    table = Table(["metric", "value"], title="Longitudinal")
+    for (mode,), count in sorted(
+        registry.label_values(LONGITUDINAL_RUNS_METRIC).items()
+    ):
+        table.add_row("runs %s" % mode, int(count))
+    total = sum(modes.values())
+    for (mode,), count in sorted(modes.items()):
+        table.add_row("apps %s" % mode, int(count))
+    fresh = modes.get(("fresh",), 0)
+    if total:
+        table.add_row("work avoided",
+                      "%.1f%%" % (100.0 * (total - fresh) / total))
+    for (change,), count in sorted(
+        registry.label_values(LONGITUDINAL_DELTA_METRIC).items()
+    ):
+        table.add_row("index delta %s" % change, int(count))
+    if registry.get(LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC) is not None:
+        table.add_row(
+            "checkpoint flushes",
+            int(registry.value(LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC)),
+        )
     return table
 
 

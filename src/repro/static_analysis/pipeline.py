@@ -31,6 +31,7 @@ class-cache metrics are accounted by a deterministic selection-order
 replay, never from scheduling-dependent worker-local counts.
 """
 
+import datetime
 import functools
 import time
 
@@ -85,6 +86,7 @@ from repro.static_analysis.deeplinks import (
 )
 from repro.static_analysis.results import (
     AppAnalysis,
+    OutcomeRecord,
     RecordedCall,
     StudyResult,
 )
@@ -268,15 +270,9 @@ class AnalysisOutcome:
         self.new_facts = None
 
 
-class _CachedEntry:
-    """What the analysis cache stores for one (sha256, options) key."""
-
-    __slots__ = ("analysis", "error", "message")
-
-    def __init__(self, analysis, error, message):
-        self.analysis = analysis
-        self.error = error
-        self.message = message
+#: What the analysis cache stores for one (sha256, options) key — now the
+#: shared record type persisted by the longitudinal RunStore as well.
+_CachedEntry = OutcomeRecord
 
 
 class _WorkerSettings:
@@ -364,7 +360,8 @@ class StaticAnalysisPipeline:
     """The corpus-level study runner (Figure 1 steps 1-2 + aggregation)."""
 
     def __init__(self, corpus, options=None, labeler=None, obs=None,
-                 exec_config=None, cache=None):
+                 exec_config=None, cache=None, snapshot_date=None,
+                 checkpoint=None):
         self.corpus = corpus
         self.options = options or PipelineOptions()
         self.labeler = labeler or SdkLabeler(corpus.catalog)
@@ -372,6 +369,16 @@ class StaticAnalysisPipeline:
         self.obs = obs if obs is not None else default_obs()
         self.exec_config = (exec_config if exec_config is not None
                             else ExecConfig())
+        # The AndroZoo snapshot this run lists; defaults to the corpus
+        # config's date, overridden per run by the longitudinal engine.
+        if snapshot_date is None:
+            snapshot_date = corpus.config.snapshot_date
+        elif isinstance(snapshot_date, str):
+            snapshot_date = datetime.date.fromisoformat(snapshot_date)
+        self.snapshot_date = snapshot_date
+        #: Optional per-outcome callable (completion order), used by the
+        #: longitudinal engine to persist checkpoints mid-run.
+        self.checkpoint = checkpoint
         if cache is None:
             cache = getattr(corpus, "analysis_cache", None)
         self.cache = cache if cache is not None else AnalysisCache()
@@ -412,11 +419,11 @@ class StaticAnalysisPipeline:
         from repro.playstore.store import PlayScraperClient
 
         config = self.corpus.config
-        with self.obs.span("list", snapshot=str(config.snapshot_date)):
-            snapshot = self.corpus.repository.snapshot(config.snapshot_date)
+        with self.obs.span("list", snapshot=str(self.snapshot_date)):
+            snapshot = self.corpus.repository.snapshot(self.snapshot_date)
             packages = snapshot.packages(market=PLAY_MARKET)
         self._listed.inc(len(packages))
-        self.log.info("snapshot_listed", snapshot=str(config.snapshot_date),
+        self.log.info("snapshot_listed", snapshot=str(self.snapshot_date),
                       packages=len(packages))
         scraper = PlayScraperClient(self.corpus.store)
 
@@ -456,8 +463,8 @@ class StaticAnalysisPipeline:
     def run(self, max_apps=None, progress=None):
         """Run the full study; returns a :class:`StudyResult`."""
         with self.obs.activate(), \
-                bind_context(stage="static", snapshot=str(
-                    self.corpus.config.snapshot_date)), \
+                bind_context(stage="static",
+                             snapshot=str(self.snapshot_date)), \
                 self.obs.span("run") as run_span:
             return self._run(max_apps, progress, run_span)
 
@@ -560,7 +567,7 @@ class StaticAnalysisPipeline:
                 fn = functools.partial(_run_analysis_task, settings)
             else:
                 fn = functools.partial(self._inline_task, settings)
-            return pool.map(tasks, fn)
+            return pool.map(tasks, fn, on_result=self.checkpoint)
 
     def _inline_task(self, settings, task):
         """In-process execution path: trace into the study tracer."""

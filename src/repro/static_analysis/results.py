@@ -175,6 +175,36 @@ class SdkAttribution:
         self.customtabs = _MechanismAttribution()
 
 
+class OutcomeRecord:
+    """One APK's completed analysis outcome, as stored and carried.
+
+    This is the value the two result stores share — the in-memory
+    :class:`~repro.exec.AnalysisCache` tier and the persistent
+    :class:`~repro.longitudinal.RunStore` — keyed by ``(sha256,
+    options fingerprint)`` in both. ``error`` is a drop-taxonomy slug
+    (None on success). Analysis is a pure function of the APK bytes and
+    the options, so replaying a stored record into a
+    :class:`StudyResult` is byte-identical to re-running the analysis.
+    """
+
+    __slots__ = ("analysis", "error", "message")
+
+    def __init__(self, analysis, error=None, message=None):
+        self.analysis = analysis
+        self.error = error
+        self.message = message
+
+    @property
+    def failed(self):
+        return self.error is not None
+
+    def __repr__(self):
+        return "OutcomeRecord(%s%s)" % (
+            self.analysis.package,
+            ", error=%s" % self.error if self.error else "",
+        )
+
+
 class StudyResult:
     """Whole-study output: the Table 2 funnel plus per-app analyses."""
 

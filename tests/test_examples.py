@@ -18,6 +18,7 @@ def run_example(name, *args):
 
 @pytest.mark.parametrize("name,args,expect", [
     ("quickstart.py", ("3000",), "Headline adoption"),
+    ("longitudinal_trends.py", ("4000",), "Incremental execution"),
     ("sdk_migration_report.py", ("4000",), "SDK migration report"),
     ("iab_privacy_audit.py", (), "IAB privacy audit"),
     ("crawl_top_sites.py", ("10",), "Kik IAB"),

@@ -176,3 +176,88 @@ class TestAndroZoo:
             "com.a", market=PLAY_MARKET
         ).sha256 == play.sha256
         assert snapshot.latest_version("com.a", market="fdroid") is None
+
+
+class TestIndexRowNormalization:
+    def test_datetime_normalized_to_date(self):
+        # Regression: a datetime.datetime dex_date survived construction,
+        # so snapshot(date) comparisons raised TypeError mid-listing.
+        repo = AndroZooRepository()
+        row = repo.archive("com.x", 1,
+                           datetime.datetime(2022, 3, 4, 12, 30), b"x")
+        assert type(row.dex_date) is datetime.date
+        assert row.dex_date == datetime.date(2022, 3, 4)
+        # The normalized row must compare cleanly against snapshot dates.
+        assert repo.snapshot("2023-01-13").packages() == ["com.x"]
+
+    def test_string_still_parsed(self):
+        repo = AndroZooRepository()
+        row = repo.archive("com.x", 1, "2022-03-04", b"x")
+        assert row.dex_date == datetime.date(2022, 3, 4)
+
+
+class TestSnapshotOrdering:
+    def test_rows_sorted_deterministically(self):
+        # Regression: Snapshot preserved archive-insertion order, so two
+        # repositories with the same content listed rows differently.
+        repo_a = AndroZooRepository()
+        repo_a.archive("com.b", 1, "2022-01-01", b"b1")
+        repo_a.archive("com.a", 2, "2022-01-01", b"a2")
+        repo_a.archive("com.a", 1, "2022-01-01", b"a1")
+
+        repo_b = AndroZooRepository()
+        repo_b.archive("com.a", 1, "2022-01-01", b"a1")
+        repo_b.archive("com.a", 2, "2022-01-01", b"a2")
+        repo_b.archive("com.b", 1, "2022-01-01", b"b1")
+
+        keys_a = [(r.package, r.version_code, r.sha256)
+                  for r in repo_a.snapshot().rows]
+        keys_b = [(r.package, r.version_code, r.sha256)
+                  for r in repo_b.snapshot().rows]
+        assert keys_a == keys_b == sorted(keys_a)
+
+
+class TestSnapshotDelta:
+    def _repo(self):
+        repo = AndroZooRepository()
+        repo.archive("com.keep", 1, "2022-01-01", b"keep")
+        repo.archive("com.bump", 1, "2022-01-01", b"bump-v1")
+        return repo
+
+    def test_first_snapshot_is_all_added(self):
+        from repro.androzoo import diff_snapshots
+
+        snapshot = self._repo().snapshot("2023-01-13")
+        delta = diff_snapshots(None, snapshot)
+        assert delta.added == ["com.bump", "com.keep"]
+        assert delta.changed == delta.added
+        assert not delta.unchanged and not delta.removed
+
+    def test_update_and_addition_buckets(self):
+        from repro.androzoo import diff_snapshots
+
+        repo = self._repo()
+        old = repo.snapshot("2023-01-13")
+        repo.archive("com.bump", 2, "2023-03-01", b"bump-v2")
+        repo.archive("com.new", 1, "2023-02-01", b"new")
+        new = repo.snapshot("2023-04-01")
+        delta = diff_snapshots(old, new)
+        assert delta.added == ["com.new"]
+        assert delta.updated == ["com.bump"]
+        assert delta.unchanged == ["com.keep"]
+        assert delta.counts() == {
+            "added": 1, "updated": 1, "removed": 0, "unchanged": 1,
+        }
+        # new_rows maps each changed package to the row needing analysis.
+        assert sorted(delta.new_rows) == ["com.bump", "com.new"]
+        assert delta.new_rows["com.bump"].version_code == 2
+
+    def test_reverse_diff_reports_removed(self):
+        from repro.androzoo import diff_snapshots
+
+        repo = self._repo()
+        old = repo.snapshot("2023-01-13")
+        repo.archive("com.new", 1, "2023-02-01", b"new")
+        new = repo.snapshot("2023-04-01")
+        delta = diff_snapshots(new, old)
+        assert delta.removed == ["com.new"]
