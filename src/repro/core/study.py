@@ -3,7 +3,8 @@
 from repro.corpus.config import CorpusConfig
 from repro.corpus.generator import generate_corpus
 from repro.dynamic.apps import real_app_profiles, webview_iab_profiles
-from repro.dynamic.crawler import AdbCrawler
+from repro.dynamic.crawler import AdbCrawler, DEFAULT_CRAWL_CHUNK_SIZE
+from repro.exec.config import CHUNK_SIZE_ENV_VAR, _env_int
 from repro.dynamic.manual_study import ManualStudy
 from repro.dynamic.measurements import IabMeasurementHarness
 from repro.exec import ExecConfig
@@ -110,15 +111,32 @@ class StaticStudy:
 
 
 class DynamicStudy:
-    """The top-1K semi-manual dynamic study."""
+    """The top-1K semi-manual dynamic study.
+
+    Like :class:`StaticStudy`, ``max_workers`` / ``chunk_size`` /
+    ``exec_backend`` shard the crawl (per app) across a
+    :mod:`repro.exec` worker pool, and ``script_cache`` toggles the
+    compiled-script cache (``REPRO_SCRIPT_CACHE``); left at None they
+    fall back to the environment. Crawl results and metrics are
+    byte-identical for any worker count and cache setting (see DESIGN.md
+    §Dynamic throughput).
+    """
 
     def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000,
-                 obs=None):
+                 obs=None, max_workers=None, chunk_size=None,
+                 exec_backend=None, script_cache=None):
         self.seed = seed
         self.obs = obs if obs is not None else Obs()
         self.sites = top_sites(site_count)
         self.manual_study = ManualStudy(total_apps=total_apps, seed=seed)
         self.harness = IabMeasurementHarness(seed=seed)
+        if chunk_size is None:
+            chunk_size = _env_int(CHUNK_SIZE_ENV_VAR,
+                                  DEFAULT_CRAWL_CHUNK_SIZE)
+        self.exec_config = ExecConfig(max_workers=max_workers,
+                                      chunk_size=chunk_size,
+                                      backend=exec_backend,
+                                      script_cache=script_cache)
         self._classifications = None
         self._measurements = None
         self._crawl = None
@@ -187,13 +205,14 @@ class DynamicStudy:
 
     # -- Figure 6 -----------------------------------------------------------------
 
-    def crawl_top_sites(self, apps=None):
+    def crawl_top_sites(self, apps=None, progress=None):
         if self._crawl is None:
             if apps is None:
                 apps = webview_iab_profiles()
             crawler = AdbCrawler(apps, sites=self.sites, seed=self.seed,
-                                 obs=self.obs)
-            self._crawl = crawler.crawl()
+                                 obs=self.obs,
+                                 exec_config=self.exec_config)
+            self._crawl = crawler.crawl(progress=progress)
         return self._crawl
 
     def run_report(self):

@@ -164,12 +164,25 @@ def _kik_endpoints(site, seed):
     return endpoints
 
 
+class _RedirectorOnlyPlan:
+    """The Facebook-family plan: only the redirector itself — their crawl
+    found no other IAB-specific requests on top sites (4.2.1).
+
+    A class rather than a closure so the profiles stay picklable and can
+    ship to process-pool crawl shards.
+    """
+
+    __slots__ = ("redirector",)
+
+    def __init__(self, redirector):
+        self.redirector = redirector
+
+    def __call__(self, site, seed):
+        return ["https://%s?u=https://%s/" % (self.redirector, site.host)]
+
+
 def _facebook_endpoints(redirector):
-    def plan(site, seed):
-        # Only the redirector itself — their crawl found no other
-        # IAB-specific requests on top sites (4.2.1).
-        return ["https://%s?u=https://%s/" % (redirector, site.host)]
-    return plan
+    return _RedirectorOnlyPlan(redirector)
 
 
 # -- the eleven studied apps ------------------------------------------------------

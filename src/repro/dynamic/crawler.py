@@ -7,21 +7,60 @@ scroll to the page end, wait 20 seconds for resources, collect the
 device's network log, then purge logs, kill the app and wait 1 minute.
 A System WebView Shell baseline establishes the requests expected from an
 uninstrumented WebView; Figure 6 reports the *app-specific* endpoints.
+
+The (app x site) workload is embarrassingly parallel: every app crawls
+with its own :class:`~repro.dynamic.device.Device` and
+:class:`~repro.netstack.network.Network`, so the crawl is sharded
+per app over a :mod:`repro.exec` worker pool (the baseline shell is one
+ordinary shard, crawled once). Both the inline and the process backend
+run the same shard function against a fresh per-shard tracer, and the
+parent merges visits, spans, ADB transcripts and metrics in deterministic
+(app, site) selection order — so :class:`CrawlResult`, exported metrics
+and the trace tree are byte-identical at any worker count and backend.
+Compiled-script cache accounting follows the same discipline: shards
+always record their ``(script digest, parse cost)`` streams (whether the
+cache is enabled or not) and the parent replays them in selection order,
+so the registry is also byte-identical with ``REPRO_SCRIPT_CACHE`` on or
+off.
 """
+
+import collections
+import functools
+import time
 
 from repro.dynamic.apps import RealAppProfile
 from repro.dynamic.device import Device
 from repro.dynamic.iab import IabKind
 from repro.dynamic.webview_runtime import WebViewRuntime
+from repro.exec import ExecConfig, make_pool, simulate_schedule
+from repro.exec.config import CHUNK_SIZE_ENV_VAR, _env_int
 from repro.netstack.network import Network, Request
-from repro.obs import bind_context, default_obs, get_logger
+from repro.obs import (
+    CRAWL_NETLOG_EVENTS_METRIC,
+    CRAWL_VISIT_ENDPOINTS_METRIC,
+    CRAWL_VISITS_METRIC,
+    EXEC_BACKEND_METRIC,
+    EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CRITICAL_PATH_METRIC,
+    EXEC_QUEUE_DEPTH_METRIC,
+    EXEC_TASKS_METRIC,
+    EXEC_WORKER_BUSY_METRIC,
+    EXEC_WORKERS_METRIC,
+    SCRIPT_CACHE_HITS_METRIC,
+    SCRIPT_CACHE_MISSES_METRIC,
+    SCRIPT_CACHE_TIME_SAVED_METRIC,
+    Span,
+    TickClock,
+    Tracer,
+    bind_context,
+    default_obs,
+    get_logger,
+    use_tracer,
+)
 from repro.web.classify import classify_endpoint
+from repro.web.jsengine import record_script_events, script_cache_override
 from repro.web.sites import top_sites
 
-#: Metrics emitted by the crawler.
-CRAWL_VISITS_METRIC = "repro_crawl_visits_total"
-CRAWL_NETLOG_EVENTS_METRIC = "repro_crawl_netlog_events_total"
-CRAWL_VISIT_ENDPOINTS_METRIC = "repro_crawl_visit_endpoints"
 _ENDPOINT_BUCKETS = (1, 2, 5, 10, 20, 50, 100)
 
 #: Android's System WebView Shell app — the uninstrumented baseline [32].
@@ -32,6 +71,16 @@ SYSTEM_WEBVIEW_SHELL = RealAppProfile(
 
 PAGE_LOAD_WAIT_MS = 20_000
 BETWEEN_CRAWLS_WAIT_MS = 60_000
+
+#: Crawl shards are whole apps — far coarser than the static pipeline's
+#: per-APK tasks — so one shard per dispatch is the right default unless
+#: ``REPRO_CHUNK_SIZE`` says otherwise.
+DEFAULT_CRAWL_CHUNK_SIZE = 1
+
+#: Cap on the retained simulated-ADB transcript: at 1K apps x 100 sites
+#: an unbounded list would dominate crawler memory for no analytical
+#: value, so only the most recent commands are kept.
+DEFAULT_ADB_LOG_LIMIT = 10_000
 
 
 class SiteVisit:
@@ -44,12 +93,12 @@ class SiteVisit:
         self.endpoints = list(endpoints)
 
     def hosts(self):
-        seen = []
-        for url in self.endpoints:
-            host = url.split("://", 1)[1].split("/", 1)[0]
-            if host not in seen:
-                seen.append(host)
-        return seen
+        """Distinct contacted hosts in first-seen order."""
+        seen = dict.fromkeys(
+            url.split("://", 1)[1].split("/", 1)[0]
+            for url in self.endpoints
+        )
+        return list(seen)
 
     def __repr__(self):
         return "SiteVisit(%s @ %s, %d endpoints)" % (
@@ -66,6 +115,10 @@ class CrawlResult:
             visit.site.host: set(visit.hosts())
             for visit in baseline_visits
         }
+        #: (host, intended_url) -> endpoint type. Classification is a
+        #: pure function of its inputs and the same hosts recur in every
+        #: visit, so summaries memoize it here.
+        self._classified = {}
 
     def visits_for(self, app_name):
         return [v for v in self.visits if v.app.name == app_name]
@@ -74,6 +127,14 @@ class CrawlResult:
         """Hosts contacted by this IAB but not by the baseline shell."""
         baseline = self._baseline.get(visit.site.host, set())
         return [host for host in visit.hosts() if host not in baseline]
+
+    def _classify(self, host, intended_url):
+        key = (host, intended_url)
+        endpoint_type = self._classified.get(key)
+        if endpoint_type is None:
+            endpoint_type = classify_endpoint(host, intended_url=intended_url)
+            self._classified[key] = endpoint_type
+        return endpoint_type
 
     def endpoint_summary(self, app_name):
         """Figure 6 data: site category -> mean distinct app-specific
@@ -88,9 +149,7 @@ class CrawlResult:
             per_category_counts[category].append(len(specific))
             type_counts = defaultdict(int)
             for host in specific:
-                endpoint_type = classify_endpoint(
-                    host, intended_url=visit.site.landing_url
-                )
+                endpoint_type = self._classify(host, visit.site.landing_url)
                 type_counts[str(endpoint_type)] += 1
             for endpoint_type, count in type_counts.items():
                 per_category_types[category][endpoint_type].append(count)
@@ -108,17 +167,175 @@ class CrawlResult:
         return means, type_means
 
 
+# -- sharded execution ---------------------------------------------------------
+
+class CrawlShard:
+    """One per-app unit of crawl work shipped to a worker."""
+
+    __slots__ = ("position", "app")
+
+    def __init__(self, position, app):
+        self.position = position
+        self.app = app
+
+
+class _ShardSettings:
+    """Picklable knobs shipped to every shard invocation."""
+
+    __slots__ = ("sites", "seed", "real_clock", "script_cache",
+                 "adb_log_limit")
+
+    def __init__(self, sites, seed, real_clock=False, script_cache=True,
+                 adb_log_limit=DEFAULT_ADB_LOG_LIMIT):
+        self.sites = sites
+        self.seed = seed
+        self.real_clock = real_clock
+        self.script_cache = script_cache
+        self.adb_log_limit = adb_log_limit
+
+
+class _VisitRecord:
+    """One visit's shippable results (the parent rebuilds SiteVisit)."""
+
+    __slots__ = ("endpoints", "netlog_event_counts")
+
+    def __init__(self, endpoints, netlog_event_counts):
+        self.endpoints = endpoints
+        #: Sorted (event type value, count) pairs for metric replay.
+        self.netlog_event_counts = netlog_event_counts
+
+
+class ShardOutcome:
+    """One app shard's results, merged by the parent in selection order.
+
+    ``spans`` is the shard's exported span tree (every shard traces into
+    a fresh per-shard tracer, on both backends, so traces are identical
+    whichever side of the process boundary the work ran on);
+    ``script_events`` is the ordered ``(digest, parse cost)`` stream the
+    parent replays for deterministic script-cache accounting;
+    ``adb_commands`` is the shard's bounded ADB transcript.
+    """
+
+    __slots__ = ("position", "package", "visits", "adb_commands",
+                 "script_events", "cost", "spans", "worker")
+
+    def __init__(self, position, package):
+        self.position = position
+        self.package = package
+        self.visits = []
+        self.adb_commands = []
+        self.script_events = []
+        self.cost = 0.0
+        self.spans = None
+        self.worker = None
+
+
+def _visit_site(app, site, device, span, seed, adb):
+    """One scripted visit: the five ADB steps plus log collection."""
+    adb.append("am start -n %s/.MainActivity" % app.package)
+    adb.append("input tap 540 1200")           # navigate to surface
+    adb.append("input text '%s'" % site.landing_url)
+    adb.append("input tap 540 1400")           # tap the URL
+
+    runtime = WebViewRuntime(app.package, device)
+    app.open_link(device, site.landing_url, runtime=runtime)
+
+    # The page pulls its own subresources and third parties.
+    for path in site.first_party_resources():
+        device.network.fetch(
+            Request("https://%s%s" % (site.host, path)),
+            netlog=runtime.netlog, time_ms=device.clock_ms,
+        )
+    for third_party in site.third_party_hosts:
+        device.network.fetch(
+            Request("https://%s/loader.js" % third_party),
+            netlog=runtime.netlog, time_ms=device.clock_ms,
+        )
+    # App-IAB-specific traffic (injection side effects).
+    for endpoint in app.extra_endpoints(site, seed=seed):
+        device.network.fetch(
+            Request(endpoint), netlog=runtime.netlog,
+            time_ms=device.clock_ms,
+        )
+
+    adb.append("input swipe 540 1600 540 300")  # scroll to the end
+    device.advance_clock(PAGE_LOAD_WAIT_MS)     # 20s resource wait
+
+    endpoints = runtime.netlog.urls()
+    # Bridge the per-instance NetLog into the owning visit's span before
+    # the on-device log is purged, so the trace tree retains the full
+    # event stream for this page load.
+    event_counts = {}
+    for event in runtime.netlog.events:
+        record = event.to_dict()
+        span.add_event(record.pop("type"),
+                       time=record.pop("time_ms"), **record)
+        value = event.event_type.value
+        event_counts[value] = event_counts.get(value, 0) + 1
+    span.set_attribute("endpoints", len(endpoints))
+    span.set_attribute("netlog_source_id", runtime.netlog.source_id)
+
+    adb.append("logcat -c")                     # purge device logs
+    runtime.netlog.purge()
+    adb.append("am force-stop %s" % app.package)
+    device.advance_clock(BETWEEN_CRAWLS_WAIT_MS)
+    return _VisitRecord(endpoints, sorted(event_counts.items()))
+
+
+def _run_crawl_shard(settings, shard):
+    """Pool entry point: crawl every site through one app's IAB.
+
+    Runs identically inline and in a worker process: a fresh tracer with
+    a fresh deterministic TickClock (unless the study injected a real
+    clock), a fresh Device + Network per app (exactly the serial
+    pattern), and script events recorded regardless of whether the
+    compiled-script cache is enabled.
+    """
+    app = shard.app
+    clock = time.perf_counter if settings.real_clock else TickClock()
+    tracer = Tracer(clock=clock)
+    outcome = ShardOutcome(shard.position, app.package)
+    adb = collections.deque(maxlen=settings.adb_log_limit)
+    with use_tracer(tracer), \
+            bind_context(stage="crawl", package=app.package), \
+            script_cache_override(settings.script_cache), \
+            record_script_events(outcome.script_events):
+        with tracer.span("crawl_app", app=app.name) as root:
+            network = Network(seed=settings.seed, strict=False)
+            for site in settings.sites:
+                network.register_site(site)
+            device = Device(network=network)
+            device.install(app)
+            for site in settings.sites:
+                with tracer.span("visit", app=app.name,
+                                 site=site.host) as span:
+                    record = _visit_site(app, site, device, span,
+                                         settings.seed, adb)
+                outcome.visits.append(record)
+    outcome.cost = root.duration
+    outcome.spans = [root.to_dict()]
+    outcome.adb_commands = list(adb)
+    return outcome
+
+
 class AdbCrawler:
-    """Crawls the top sites through each app's IAB."""
+    """Crawls the top sites through each app's IAB, sharded per app."""
 
     def __init__(self, apps, sites=None, seed=0, include_baseline=True,
-                 obs=None):
+                 obs=None, exec_config=None,
+                 adb_log_limit=DEFAULT_ADB_LOG_LIMIT):
         self.apps = list(apps)
         self.sites = list(sites) if sites is not None else top_sites(100)
         self.seed = seed
         self.include_baseline = include_baseline
-        self.adb_commands = []
+        self.adb_log_limit = adb_log_limit
+        self.adb_commands = collections.deque(maxlen=adb_log_limit)
         self.obs = obs if obs is not None else default_obs()
+        if exec_config is None:
+            exec_config = ExecConfig(chunk_size=_env_int(
+                CHUNK_SIZE_ENV_VAR, DEFAULT_CRAWL_CHUNK_SIZE
+            ))
+        self.exec_config = exec_config
         self.log = get_logger("dynamic.crawler")
         self._visits = self.obs.counter(
             CRAWL_VISITS_METRIC, "Completed (app, site) crawl visits.",
@@ -135,97 +352,170 @@ class AdbCrawler:
             buckets=_ENDPOINT_BUCKETS,
         )
 
-    # -- simulated ADB steps ----------------------------------------------------
+    def crawl(self, progress=None):
+        """Run the full crawl; returns a :class:`CrawlResult`.
 
-    def _adb(self, command):
-        self.adb_commands.append(command)
-
-    def _visit(self, app, site, device):
-        """One scripted visit: the five ADB steps plus log collection."""
-        with self.obs.span("visit", app=app.name, site=site.host) as span:
-            return self._visit_in_span(app, site, device, span)
-
-    def _visit_in_span(self, app, site, device, span):
-        self._adb("am start -n %s/.MainActivity" % app.package)
-        self._adb("input tap 540 1200")           # navigate to surface
-        self._adb("input text '%s'" % site.landing_url)
-        self._adb("input tap 540 1400")           # tap the URL
-
-        runtime = WebViewRuntime(app.package, device)
-        app.open_link(device, site.landing_url, runtime=runtime)
-
-        # The page pulls its own subresources and third parties.
-        for path in site.first_party_resources():
-            device.network.fetch(
-                Request("https://%s%s" % (site.host, path)),
-                netlog=runtime.netlog, time_ms=device.clock_ms,
-            )
-        for third_party in site.third_party_hosts:
-            device.network.fetch(
-                Request("https://%s/loader.js" % third_party),
-                netlog=runtime.netlog, time_ms=device.clock_ms,
-            )
-        # App-IAB-specific traffic (injection side effects).
-        for endpoint in app.extra_endpoints(site, seed=self.seed):
-            device.network.fetch(
-                Request(endpoint), netlog=runtime.netlog,
-                time_ms=device.clock_ms,
-            )
-
-        self._adb("input swipe 540 1600 540 300")  # scroll to the end
-        device.advance_clock(PAGE_LOAD_WAIT_MS)    # 20s resource wait
-
-        endpoints = runtime.netlog.urls()
-        # Bridge the per-instance NetLog into the owning visit's span
-        # before the on-device log is purged, so the trace tree retains
-        # the full event stream for this page load.
-        for event in runtime.netlog.events:
-            record = event.to_dict()
-            span.add_event(record.pop("type"),
-                           time=record.pop("time_ms"), **record)
-            self._netlog_events.labels(
-                event_type=event.event_type.value
-            ).inc()
-        span.set_attribute("endpoints", len(endpoints))
-        span.set_attribute("netlog_source_id", runtime.netlog.source_id)
-        self._visits.labels(app=app.name).inc()
-        self._endpoints.observe(len(endpoints))
-        self.log.debug("visit_complete", endpoints=len(endpoints),
-                       netlog_events=len(runtime.netlog))
-
-        self._adb("logcat -c")                     # purge device logs
-        runtime.netlog.purge()
-        self._adb("am force-stop %s" % app.package)
-        device.advance_clock(BETWEEN_CRAWLS_WAIT_MS)
-        return SiteVisit(app, site, endpoints)
-
-    def crawl(self):
-        """Run the full crawl; returns a :class:`CrawlResult`."""
+        ``progress``, when given, is called with each app's
+        :class:`ShardOutcome` in completion order (the pool's
+        ``on_result`` hook); results are still merged in selection order.
+        """
         with self.obs.activate(), bind_context(stage="crawl"), \
                 self.obs.span("crawl", apps=len(self.apps),
                               sites=len(self.sites)):
-            return self._crawl()
+            return self._crawl(progress)
 
-    def _crawl(self):
-        visits = []
-        baseline_visits = []
+    def _crawl(self, progress):
         apps = list(self.apps)
         if self.include_baseline:
+            # The baseline shell is crawled once, as one ordinary shard;
+            # differencing happens in CrawlResult, so no shard needs its
+            # results in flight.
             apps.append(SYSTEM_WEBVIEW_SHELL)
-        for app in apps:
-            network = Network(seed=self.seed, strict=False)
-            for site in self.sites:
-                network.register_site(site)
-            device = Device(network=network)
-            device.install(app)
-            with bind_context(package=app.package), \
-                    self.obs.span("crawl_app", app=app.name):
-                for site in self.sites:
-                    visit = self._visit(app, site, device)
-                    if app is SYSTEM_WEBVIEW_SHELL:
-                        baseline_visits.append(visit)
-                    else:
-                        visits.append(visit)
+        shards = [CrawlShard(position, app)
+                  for position, app in enumerate(apps)]
+        outcomes = self._run_shards(shards, progress)
+        schedule = simulate_schedule([o.cost for o in outcomes],
+                                     self.exec_config.max_workers,
+                                     self.exec_config.chunk_size)
+        for outcome, worker in zip(outcomes, schedule.assignments):
+            outcome.worker = worker
+        self._record_exec_metrics(outcomes, schedule)
+
+        visits = []
+        baseline_visits = []
+        for app, outcome in zip(apps, outcomes):
+            self._merge_shard(app, outcome, visits, baseline_visits)
+        self._record_script_metrics(outcomes)
         self.log.info("crawl_complete", visits=len(visits),
-                      baseline_visits=len(baseline_visits))
+                      baseline_visits=len(baseline_visits),
+                      workers=self.exec_config.max_workers)
         return CrawlResult(visits, baseline_visits)
+
+    def _run_shards(self, shards, progress):
+        """Map the per-app shards over the configured pool, in order."""
+        pool = make_pool(self.exec_config, log=self.log)
+        settings = _ShardSettings(
+            self.sites, self.seed,
+            real_clock=not isinstance(self.obs.clock, TickClock),
+            script_cache=self.exec_config.script_cache,
+            adb_log_limit=self.adb_log_limit,
+        )
+        fn = functools.partial(_run_crawl_shard, settings)
+        with self.obs.span("execute", backend=pool.name,
+                           workers=self.exec_config.max_workers,
+                           shards=len(shards)):
+            return pool.map(shards, fn, on_result=progress)
+
+    def _merge_shard(self, app, outcome, visits, baseline_visits):
+        """Fold one shard into the crawl (selection order).
+
+        Rebuilds each SiteVisit against the parent's own app and site
+        objects (so baseline identity and ``visits_for`` behave exactly
+        as in a serial crawl), replays the shard's span tree into the
+        study tracer, extends the bounded ADB transcript, and replays the
+        per-visit metrics.
+        """
+        with bind_context(package=app.package):
+            self._replay_shard_spans(outcome)
+        self.adb_commands.extend(outcome.adb_commands)
+        for site, record in zip(self.sites, outcome.visits):
+            visit = SiteVisit(app, site, record.endpoints)
+            if app is SYSTEM_WEBVIEW_SHELL:
+                baseline_visits.append(visit)
+            else:
+                visits.append(visit)
+            self._visits.labels(app=app.name).inc()
+            for event_type, count in record.netlog_event_counts:
+                self._netlog_events.labels(event_type=event_type).inc(count)
+            self._endpoints.observe(len(record.endpoints))
+            self.log.debug("visit_complete", app=app.name, site=site.host,
+                           endpoints=len(record.endpoints))
+
+    def _replay_shard_spans(self, outcome):
+        """Attach a shard's exported span tree to the study tracer."""
+        tracer = self.obs.tracer
+        for data in outcome.spans:
+            root = Span.from_dict(data)
+            if outcome.worker is not None:
+                root.set_attribute("worker", "w%d" % outcome.worker)
+            parent = tracer.current()
+            if parent is not None:
+                parent.children.append(root)
+            else:
+                tracer.roots.append(root)
+            if tracer.on_span_end is not None:
+                for span in root.iter_spans():
+                    tracer.on_span_end(span)
+
+    def _record_exec_metrics(self, outcomes, schedule):
+        """Deterministic execution metrics for the run report."""
+        config = self.exec_config
+        self.obs.gauge(
+            EXEC_WORKERS_METRIC, "Configured worker count.",
+        ).set(config.max_workers)
+        self.obs.gauge(
+            EXEC_CHUNK_SIZE_METRIC, "Tasks per worker dispatch.",
+        ).set(config.chunk_size)
+        self.obs.gauge(
+            EXEC_BACKEND_METRIC, "Resolved execution backend (info).",
+            ("backend",),
+        ).labels(backend=config.resolved_backend).set(1)
+        shard_count = len(outcomes)
+        chunks = -(-shard_count // config.chunk_size) if shard_count else 0
+        self.obs.gauge(
+            EXEC_QUEUE_DEPTH_METRIC,
+            "High-water mark of chunks in the bounded work queue.",
+        ).set(min(config.window, chunks))
+        tasks = self.obs.counter(
+            EXEC_TASKS_METRIC, "Per-app tasks, by outcome.", ("status",),
+        )
+        for _ in outcomes:
+            tasks.labels(status="ok").inc()
+        busy = self.obs.counter(
+            EXEC_WORKER_BUSY_METRIC,
+            "Clock units each worker spent analyzing apps.",
+            ("worker",),
+        )
+        for worker, amount in enumerate(schedule.worker_busy):
+            if amount:
+                busy.labels(worker="w%d" % worker).inc(amount)
+        self.obs.gauge(
+            EXEC_CRITICAL_PATH_METRIC,
+            "Makespan of the (simulated greedy) worker schedule.",
+        ).set(schedule.critical_path)
+
+    def _record_script_metrics(self, outcomes):
+        """Deterministic script-cache accounting by selection-order replay.
+
+        Worker-local hit counts depend on chunk scheduling and on cache
+        warmth, so they never feed metrics. Instead every shard records
+        its ordered ``(digest, parse cost)`` stream — whether the cache
+        was enabled or not — and the parent replays the streams in
+        selection order: the first occurrence of a digest is the miss
+        that pays its parse cost, every later occurrence is a hit that
+        saves it. Byte-identical at any worker count, backend, and cache
+        setting.
+        """
+        seen = {}
+        hits = misses = 0
+        saved = 0.0
+        for outcome in outcomes:
+            for digest, cost in outcome.script_events:
+                if digest in seen:
+                    hits += 1
+                    saved += seen[digest]
+                else:
+                    seen[digest] = cost
+                    misses += 1
+        self.obs.counter(
+            SCRIPT_CACHE_HITS_METRIC,
+            "Script parses served from the compiled-script cache.",
+        ).inc(hits)
+        self.obs.counter(
+            SCRIPT_CACHE_MISSES_METRIC,
+            "Script parses that tokenized and parsed from scratch.",
+        ).inc(misses)
+        self.obs.counter(
+            SCRIPT_CACHE_TIME_SAVED_METRIC,
+            "Estimated clock units saved by compiled-script reuse.",
+        ).inc(saved)

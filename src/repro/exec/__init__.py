@@ -34,7 +34,9 @@ from repro.exec.cache import (
     CACHE_DIR_ENV_VAR,
     AnalysisCache,
     ClassFactsCache,
+    LruStore,
     MAX_ENTRIES_ENV_VAR,
+    env_max_entries,
 )
 from repro.exec.config import (
     BACKEND_AUTO,
@@ -46,6 +48,7 @@ from repro.exec.config import (
     ExecConfig,
     ExecConfigError,
     MAX_WORKERS_ENV_VAR,
+    SCRIPT_CACHE_ENV_VAR,
 )
 from repro.exec.pool import (
     InlinePool,
@@ -69,11 +72,14 @@ __all__ = [
     "ExecConfig",
     "ExecConfigError",
     "InlinePool",
+    "LruStore",
     "MAX_ENTRIES_ENV_VAR",
     "MAX_WORKERS_ENV_VAR",
     "ProcessPool",
+    "SCRIPT_CACHE_ENV_VAR",
     "Schedule",
     "WorkerPool",
+    "env_max_entries",
     "make_pool",
     "process_backend_available",
     "simulate_schedule",

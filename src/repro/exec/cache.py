@@ -74,6 +74,17 @@ class _LruStore:
         return len(self.entries)
 
 
+#: Public alias: the bounded-LRU primitive is shared with the dynamic
+#: pipeline's compiled-script and site-template caches, which follow the
+#: same ``REPRO_CACHE_MAX_ENTRIES`` convention (:func:`env_max_entries`).
+LruStore = _LruStore
+
+
+def env_max_entries():
+    """The ``REPRO_CACHE_MAX_ENTRIES`` bound, or None when unbounded."""
+    return _env_max_entries()
+
+
 class ClassFactsCache:
     """Content-addressed per-class analysis facts (the lower tier).
 

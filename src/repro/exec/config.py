@@ -6,7 +6,9 @@ matrix sets the former to exercise the parallel path on every push.
 default) picks processes only when more than one worker is requested.
 ``REPRO_CLASS_CACHE`` toggles the content-addressed class-facts cache
 (on by default); the CI matrix runs a leg with it off to prove results
-are byte-identical either way.
+are byte-identical either way. ``REPRO_SCRIPT_CACHE`` is the dynamic
+pipeline's analogue: it toggles the compiled-script cache in
+:mod:`repro.web.jsengine` (also on by default, also exercised off in CI).
 """
 
 import os
@@ -15,6 +17,7 @@ MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
 CHUNK_SIZE_ENV_VAR = "REPRO_CHUNK_SIZE"
 BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 CLASS_CACHE_ENV_VAR = "REPRO_CLASS_CACHE"
+SCRIPT_CACHE_ENV_VAR = "REPRO_SCRIPT_CACHE"
 
 BACKEND_AUTO = "auto"
 BACKEND_INLINE = "inline"
@@ -60,7 +63,7 @@ class ExecConfig:
     """
 
     def __init__(self, max_workers=None, chunk_size=None, backend=None,
-                 class_cache=None):
+                 class_cache=None, script_cache=None):
         if max_workers is None:
             max_workers = _env_int(MAX_WORKERS_ENV_VAR, 1)
         if chunk_size is None:
@@ -69,6 +72,8 @@ class ExecConfig:
             backend = os.environ.get(BACKEND_ENV_VAR, BACKEND_AUTO)
         if class_cache is None:
             class_cache = _env_flag(CLASS_CACHE_ENV_VAR, True)
+        if script_cache is None:
+            script_cache = _env_flag(SCRIPT_CACHE_ENV_VAR, True)
         if max_workers < 1:
             raise ExecConfigError("max_workers must be >= 1, got %d"
                                   % max_workers)
@@ -83,6 +88,7 @@ class ExecConfig:
         self.chunk_size = int(chunk_size)
         self.backend = backend
         self.class_cache = bool(class_cache)
+        self.script_cache = bool(script_cache)
 
     @property
     def resolved_backend(self):

@@ -1,7 +1,14 @@
 """Simulated network stack with Chrome-NetLog-style logging."""
 
 from repro.netstack.netlog import NetLog, NetLogEvent
-from repro.netstack.network import Network, Request, Response
+from repro.netstack.network import (
+    Network,
+    Request,
+    Response,
+    SiteTemplate,
+    SiteTemplateCache,
+    default_site_template_cache,
+)
 from repro.netstack.pageload import PageLoadModel, LoaderKind
 
 __all__ = [
@@ -10,6 +17,9 @@ __all__ = [
     "Network",
     "Request",
     "Response",
+    "SiteTemplate",
+    "SiteTemplateCache",
+    "default_site_template_cache",
     "PageLoadModel",
     "LoaderKind",
 ]

@@ -9,16 +9,17 @@ because requests carry real header dicts).
 
 from repro.android.api import X_REQUESTED_WITH_HEADER
 from repro.errors import DnsError
+from repro.exec.cache import LruStore, env_max_entries
 from repro.netstack.netlog import NetLogEventType
 from repro.util import derive_seed, make_rng
-from repro.web.urls import parse_url
+from repro.web.urls import parse_url_cached
 
 
 class Request:
     """An HTTP(S) request."""
 
     def __init__(self, url, method="GET", headers=None, body=b""):
-        self.url = parse_url(url) if isinstance(url, str) else url
+        self.url = parse_url_cached(url) if isinstance(url, str) else url
         self.method = method
         self.headers = dict(headers or {})
         self.body = body
@@ -57,6 +58,91 @@ class Response:
         )
 
 
+class SiteTemplate:
+    """Shared, read-only response state for one registered site.
+
+    Every app shard registers the same top sites into its own
+    :class:`Network`; the template memoizes the per-path response bodies
+    and the profile-derived latency so that state is built once per
+    process instead of once per (app, site) pair. Templates hold no
+    per-connection state — warm origins, RNG streams, and request logs
+    stay on each Network.
+    """
+
+    __slots__ = ("host", "extra_latency_ms", "third_party_hosts",
+                 "_page_html", "_bodies")
+
+    def __init__(self, site_profile, page_html):
+        self.host = site_profile.host
+        self.extra_latency_ms = site_profile.base_load_ms / 4
+        self.third_party_hosts = tuple(site_profile.third_party_hosts)
+        self._page_html = page_html
+        self._bodies = {}
+
+    def body(self, path):
+        """The response bytes for a path (memoized per template)."""
+        cached = self._bodies.get(path)
+        if cached is None:
+            if path == "/":
+                cached = self._page_html
+            else:
+                cached = b"resource:" + path.encode("utf-8")
+            self._bodies[path] = cached
+        return cached
+
+
+class SiteTemplateCache:
+    """Process-wide memo of :class:`SiteTemplate` per registered site.
+
+    Keyed on every profile field the template derives from, so two
+    profiles that differ (e.g. from different ``top_sites`` seeds) never
+    share state. Bounded by ``REPRO_CACHE_MAX_ENTRIES``.
+    """
+
+    def __init__(self, max_entries=None):
+        if max_entries is None:
+            max_entries = env_max_entries()
+        self._store = LruStore(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def template_for(self, site_profile, page_html):
+        key = (site_profile.host, site_profile.base_load_ms,
+               tuple(site_profile.third_party_hosts), page_html)
+        template = self._store.get(key)
+        if template is None:
+            template = SiteTemplate(site_profile, page_html)
+            self._store.put(key, template)
+            self.misses += 1
+        else:
+            self.hits += 1
+        return template
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self):
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._store)
+
+
+_DEFAULT_TEMPLATE_CACHE = None
+
+
+def default_site_template_cache():
+    """The process-wide site-template cache (created lazily)."""
+    global _DEFAULT_TEMPLATE_CACHE
+    if _DEFAULT_TEMPLATE_CACHE is None:
+        _DEFAULT_TEMPLATE_CACHE = SiteTemplateCache()
+    return _DEFAULT_TEMPLATE_CACHE
+
+
 class Network:
     """The simulated internet: resolvable hosts, latency, content."""
 
@@ -79,15 +165,19 @@ class Network:
         self._hosts[host.lower()] = (content_factory, extra_latency_ms)
 
     def register_site(self, site_profile, page_html=b"<html></html>"):
-        """Register a top-site profile and its third-party hosts."""
-        def factory(path):
-            if path == "/":
-                return page_html
-            return b"resource:" + path.encode("utf-8")
+        """Register a top-site profile and its third-party hosts.
 
-        self.register_host(site_profile.host, factory,
-                           extra_latency_ms=site_profile.base_load_ms / 4)
-        for third_party in site_profile.third_party_hosts:
+        Site response state comes from the process-wide
+        :class:`SiteTemplateCache`, so repeated register/fetch cycles
+        across app shards share one template per site instead of
+        rebuilding identical factories and bodies per Network.
+        """
+        template = default_site_template_cache().template_for(
+            site_profile, page_html
+        )
+        self.register_host(template.host, template.body,
+                           extra_latency_ms=template.extra_latency_ms)
+        for third_party in template.third_party_hosts:
             self.register_host(third_party)
 
     def knows_host(self, host):
@@ -97,11 +187,11 @@ class Network:
 
     def prewarm(self, url):
         """Pre-initialize a connection (CTs warm up the browser, Fig. 7)."""
-        parsed = parse_url(url) if isinstance(url, str) else url
+        parsed = parse_url_cached(url) if isinstance(url, str) else url
         self._warm_origins.add(parsed.origin)
 
     def is_warm(self, url):
-        parsed = parse_url(url) if isinstance(url, str) else url
+        parsed = parse_url_cached(url) if isinstance(url, str) else url
         return parsed.origin in self._warm_origins
 
     # -- request execution -------------------------------------------------------------

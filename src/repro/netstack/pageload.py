@@ -98,6 +98,9 @@ class PageLoadModel:
                              loader.value, trial),
             rtt_ms=self.rtt_ms,
         )
+        # Fresh per-trial Network (independent RNG streams and warm-origin
+        # state), but the site's response templates come from the shared
+        # process-wide cache, so repeated trials stop rebuilding them.
         network.register_site(site)
 
         url = site.landing_url

@@ -43,6 +43,9 @@ from repro.obs.metrics import (
 from repro.obs.report import (
     APPS_ANALYZED_METRIC,
     APPS_LISTED_METRIC,
+    CRAWL_NETLOG_EVENTS_METRIC,
+    CRAWL_VISIT_ENDPOINTS_METRIC,
+    CRAWL_VISITS_METRIC,
     DROPS_METRIC,
     EXEC_BACKEND_METRIC,
     EXEC_CACHE_EVICTIONS_METRIC,
@@ -62,6 +65,9 @@ from repro.obs.report import (
     LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC,
     LONGITUDINAL_DELTA_METRIC,
     LONGITUDINAL_RUNS_METRIC,
+    SCRIPT_CACHE_HITS_METRIC,
+    SCRIPT_CACHE_MISSES_METRIC,
+    SCRIPT_CACHE_TIME_SAVED_METRIC,
     STAGE_CALLS_METRIC,
     STAGE_ERRORS_METRIC,
     STAGE_SECONDS_METRIC,
@@ -160,6 +166,9 @@ def default_obs():
 __all__ = [
     "APPS_ANALYZED_METRIC",
     "APPS_LISTED_METRIC",
+    "CRAWL_NETLOG_EVENTS_METRIC",
+    "CRAWL_VISIT_ENDPOINTS_METRIC",
+    "CRAWL_VISITS_METRIC",
     "Counter",
     "DROPS_METRIC",
     "EXEC_BACKEND_METRIC",
@@ -186,6 +195,9 @@ __all__ = [
     "MetricsRegistry",
     "Obs",
     "REGISTRY",
+    "SCRIPT_CACHE_HITS_METRIC",
+    "SCRIPT_CACHE_MISSES_METRIC",
+    "SCRIPT_CACHE_TIME_SAVED_METRIC",
     "STAGE_CALLS_METRIC",
     "STAGE_ERRORS_METRIC",
     "STAGE_SECONDS_METRIC",

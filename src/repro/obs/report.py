@@ -40,6 +40,19 @@ EXEC_CLASS_CACHE_MISSES_METRIC = "repro_exec_class_cache_misses_total"
 EXEC_CLASS_BYTES_DEDUPED_METRIC = "repro_exec_class_bytes_deduped_total"
 EXEC_CLASS_TIME_SAVED_METRIC = "repro_exec_class_time_saved_seconds_total"
 
+#: Dynamic-pipeline crawl metrics (repro.dynamic.crawler).
+CRAWL_VISITS_METRIC = "repro_crawl_visits_total"
+CRAWL_NETLOG_EVENTS_METRIC = "repro_crawl_netlog_events_total"
+CRAWL_VISIT_ENDPOINTS_METRIC = "repro_crawl_visit_endpoints"
+
+#: Compiled-script cache metrics (repro.web.jsengine), accounted by the
+#: crawler's deterministic selection-order replay of per-visit
+#: ``(digest, parse cost)`` streams — recorded whether the cache is
+#: enabled or not, so the exported registry is identical either way.
+SCRIPT_CACHE_HITS_METRIC = "repro_script_cache_hits_total"
+SCRIPT_CACHE_MISSES_METRIC = "repro_script_cache_misses_total"
+SCRIPT_CACHE_TIME_SAVED_METRIC = "repro_script_cache_time_saved_seconds_total"
+
 #: Longitudinal engine metrics (repro.longitudinal), fed per snapshot run.
 LONGITUDINAL_APPS_METRIC = "repro_longitudinal_apps_total"
 LONGITUDINAL_DELTA_METRIC = "repro_longitudinal_delta_apps_total"
@@ -69,6 +82,9 @@ def render_run_report(obs, title, items_label="apps", items_count=0,
     execution = _exec_table(obs)
     if execution is not None:
         sections.append(execution)
+    dynamic = _dynamic_table(obs)
+    if dynamic is not None:
+        sections.append(dynamic)
     longitudinal = _longitudinal_table(obs)
     if longitudinal is not None:
         sections.append(longitudinal)
@@ -106,9 +122,11 @@ def _exec_table(obs):
         registry.label_values(EXEC_TASKS_METRIC).items()
     ):
         table.add_row("tasks %s" % status, int(count))
-    table.add_row("cache hits", int(registry.value(EXEC_CACHE_HITS_METRIC)))
-    table.add_row("cache misses",
-                  int(registry.value(EXEC_CACHE_MISSES_METRIC)))
+    if registry.get(EXEC_CACHE_HITS_METRIC) is not None:
+        table.add_row("cache hits",
+                      int(registry.value(EXEC_CACHE_HITS_METRIC)))
+        table.add_row("cache misses",
+                      int(registry.value(EXEC_CACHE_MISSES_METRIC)))
     if registry.get(EXEC_CLASS_CACHE_HITS_METRIC) is not None:
         hits = registry.value(EXEC_CLASS_CACHE_HITS_METRIC)
         misses = registry.value(EXEC_CLASS_CACHE_MISSES_METRIC)
@@ -133,6 +151,33 @@ def _exec_table(obs):
     table.add_row("critical path (clock s)", "%.3f" % critical)
     if critical:
         table.add_row("parallel speedup", "%.2fx" % (busy / critical))
+    return table
+
+
+def _dynamic_table(obs):
+    """Dynamic-pipeline summary, rendered only for crawl runs."""
+    registry = obs.registry
+    visits = registry.label_values(CRAWL_VISITS_METRIC)
+    if not visits:
+        return None
+    table = Table(["metric", "value"], title="Dynamic execution")
+    table.add_row("visits", int(sum(visits.values())))
+    table.add_row("apps crawled", len(visits))
+    events = registry.label_values(CRAWL_NETLOG_EVENTS_METRIC)
+    if events:
+        table.add_row("netlog events", int(sum(events.values())))
+    if registry.get(SCRIPT_CACHE_HITS_METRIC) is not None:
+        hits = registry.value(SCRIPT_CACHE_HITS_METRIC)
+        misses = registry.value(SCRIPT_CACHE_MISSES_METRIC)
+        table.add_row("script-cache hits", int(hits))
+        table.add_row("script-cache misses", int(misses))
+        if hits + misses:
+            table.add_row("script-cache hit rate",
+                          "%.1f%%" % (100.0 * hits / (hits + misses)))
+        table.add_row(
+            "script parse time saved (clock s)",
+            "%.3f" % registry.value(SCRIPT_CACHE_TIME_SAVED_METRIC),
+        )
     return table
 
 

@@ -14,9 +14,25 @@ and index access, array/object literals, and string/array/number builtins.
 
 Values map to Python: ``null`` -> None, numbers -> float, plus the
 :data:`UNDEFINED` sentinel. Bitwise operators coerce through int32 like JS.
+
+Parsing is memoized corpus-wide: the same ~dozen injected scripts are
+evaluated against every one of the 100 crawled sites, so
+:class:`ScriptCache` keys tokenize+parse output on the script's SHA-256
+and hands the (read-only) AST back to each execution. Interpreter state
+stays strictly per-execution. ``REPRO_SCRIPT_CACHE=0`` disables the
+cache; ``REPRO_CACHE_MAX_ENTRIES`` bounds it, following the conventions
+of the static pipeline's class-facts cache.
 """
 
+import contextlib
+import contextvars
+import hashlib
+import time
+
 from repro.errors import JsRuntimeError, JsSyntaxError
+from repro.exec.cache import LruStore, env_max_entries
+from repro.exec.config import SCRIPT_CACHE_ENV_VAR, _env_flag
+from repro.obs.tracing import current_tracer
 
 
 class _Undefined:
@@ -562,6 +578,174 @@ def parse_js(source):
 
 
 # ---------------------------------------------------------------------------
+# Compiled-script cache
+# ---------------------------------------------------------------------------
+
+def script_digest(source):
+    """The SHA-256 hex digest keying a script in the compiled cache."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class _ScriptEntry:
+    """One cached program: the parsed AST plus its measured parse cost."""
+
+    __slots__ = ("program", "cost_s")
+
+    def __init__(self, program, cost_s):
+        self.program = program
+        self.cost_s = cost_s
+
+
+class ScriptCache:
+    """Corpus-wide memo of tokenize+parse output, keyed on script SHA-256.
+
+    The AST is a nested tuple tree the interpreter never mutates, so one
+    parse can back every execution of the same script across apps and
+    sites. Only parsing is shared — scopes, globals, and all other
+    interpreter state stay per-execution. Bounded by
+    ``REPRO_CACHE_MAX_ENTRIES`` (unbounded by default) with eviction
+    accounting, like the static pipeline's class-facts cache.
+    """
+
+    def __init__(self, max_entries=None):
+        if max_entries is None:
+            max_entries = env_max_entries()
+        self._store = LruStore(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.time_saved_s = 0.0
+
+    def lookup(self, digest):
+        """The cached entry for a digest, or None (no accounting)."""
+        return self._store.get(digest)
+
+    def store(self, digest, program, cost_s):
+        self._store.put(digest, _ScriptEntry(program, cost_s))
+
+    def parse(self, source):
+        """Parse through the cache, with hit/miss/time-saved accounting.
+
+        Convenience entry point for benchmarks and tests; the
+        interpreter's hot path (:func:`_parse_for_run`) shares the store
+        but takes its timings from the ambient tracer clock instead.
+        """
+        digest = script_digest(source)
+        entry = self.lookup(digest)
+        if entry is not None:
+            self.hits += 1
+            self.time_saved_s += entry.cost_s
+            return entry.program
+        started = time.perf_counter()
+        program = parse_js(source)
+        self.store(digest, program, time.perf_counter() - started)
+        self.misses += 1
+        return program
+
+    @property
+    def evictions(self):
+        return self._store.evictions
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self):
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.time_saved_s = 0.0
+
+    def __len__(self):
+        return len(self._store)
+
+    def __repr__(self):
+        return "ScriptCache(%d scripts, %d hits, %d misses)" % (
+            len(self._store), self.hits, self.misses
+        )
+
+
+_DEFAULT_SCRIPT_CACHE = None
+
+_SCRIPT_EVENTS = contextvars.ContextVar("repro_script_events", default=None)
+_SCRIPT_CACHE_OVERRIDE = contextvars.ContextVar(
+    "repro_script_cache_override", default=None
+)
+
+
+def default_script_cache():
+    """The process-wide script cache (created lazily)."""
+    global _DEFAULT_SCRIPT_CACHE
+    if _DEFAULT_SCRIPT_CACHE is None:
+        _DEFAULT_SCRIPT_CACHE = ScriptCache()
+    return _DEFAULT_SCRIPT_CACHE
+
+
+@contextlib.contextmanager
+def record_script_events(events):
+    """Collect ``(digest, parse_seconds)`` per interpreter run into ``events``.
+
+    Recording is orthogonal to caching: the stream is identical whether
+    the cache is on or off, which is what lets the crawler's replayed
+    cache metrics stay byte-identical across configurations.
+    """
+    token = _SCRIPT_EVENTS.set(events)
+    try:
+        yield events
+    finally:
+        _SCRIPT_EVENTS.reset(token)
+
+
+@contextlib.contextmanager
+def script_cache_override(enabled):
+    """Force the cache on/off for the enclosed block, overriding the env.
+
+    The crawler uses this to propagate ``ExecConfig.script_cache`` into
+    worker shards independently of ``REPRO_SCRIPT_CACHE``.
+    """
+    token = _SCRIPT_CACHE_OVERRIDE.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _SCRIPT_CACHE_OVERRIDE.reset(token)
+
+
+def _cache_enabled():
+    override = _SCRIPT_CACHE_OVERRIDE.get()
+    if override is not None:
+        return override
+    return _env_flag(SCRIPT_CACHE_ENV_VAR, True)
+
+
+def _parse_for_run(source):
+    """Parse for execution, through the compiled cache when enabled.
+
+    Clock parity: exactly two ambient clock reads happen per call in
+    every mode (hit, miss, cache off), so a deterministic tick clock
+    advances identically — and spans and metrics stay byte-identical —
+    whatever the cache configuration.
+    """
+    clock = current_tracer().clock
+    digest = script_digest(source)
+    cache = default_script_cache() if _cache_enabled() else None
+    entry = cache.lookup(digest) if cache is not None else None
+    started = clock()
+    program = entry.program if entry is not None else parse_js(source)
+    elapsed = clock() - started
+    if cache is not None:
+        if entry is not None:
+            cache.hits += 1
+            cache.time_saved_s += entry.cost_s
+        else:
+            cache.store(digest, program, elapsed)
+            cache.misses += 1
+    events = _SCRIPT_EVENTS.get()
+    if events is not None:
+        events.append((digest, elapsed))
+    return program
+
+
+# ---------------------------------------------------------------------------
 # Runtime values
 # ---------------------------------------------------------------------------
 
@@ -823,7 +1007,7 @@ class JsInterpreter:
     def run(self, source):
         """Parse and execute; returns the value of the last expression
         statement (or UNDEFINED)."""
-        program = parse_js(source)
+        program = _parse_for_run(source)
         result = UNDEFINED
         try:
             for statement in program[1]:

@@ -92,6 +92,7 @@ class SiteProfile:
         self.third_party_hosts = tuple(third_party_hosts)
         #: Baseline main-document latency in milliseconds.
         self.base_load_ms = base_load_ms
+        self._first_party_resources = None
 
     @property
     def url(self):
@@ -102,15 +103,22 @@ class SiteProfile:
         return str(self.url)
 
     def first_party_resources(self):
-        """Paths of same-site subresources the landing page loads."""
-        kinds = ("css/site.css", "js/app.js", "img/hero.jpg", "img/logo.svg",
-                 "js/vendor.js", "fonts/main.woff2", "img/banner.jpg",
-                 "js/lazy.js", "css/theme.css", "img/teaser-%d.jpg")
-        paths = []
-        for i in range(self.subresource_count):
-            kind = kinds[i % len(kinds)]
-            paths.append("/" + (kind % i if "%d" in kind else kind))
-        return paths
+        """Paths of same-site subresources the landing page loads.
+
+        Memoized: every app crawling this site walks the same path list,
+        so it is built once per profile and shared (callers only read it).
+        """
+        if self._first_party_resources is None:
+            kinds = ("css/site.css", "js/app.js", "img/hero.jpg",
+                     "img/logo.svg", "js/vendor.js", "fonts/main.woff2",
+                     "img/banner.jpg", "js/lazy.js", "css/theme.css",
+                     "img/teaser-%d.jpg")
+            paths = []
+            for i in range(self.subresource_count):
+                kind = kinds[i % len(kinds)]
+                paths.append("/" + (kind % i if "%d" in kind else kind))
+            self._first_party_resources = paths
+        return self._first_party_resources
 
     def __repr__(self):
         return "SiteProfile(#%d %s, %s)" % (self.rank, self.host,

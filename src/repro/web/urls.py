@@ -5,6 +5,8 @@ splitting, default ports, registrable-domain extraction (with a small
 multi-label public-suffix list), and origin comparison.
 """
 
+import collections
+
 from repro.errors import NetworkError
 
 DEFAULT_PORTS = {"http": 80, "https": 443, "ws": 80, "wss": 443}
@@ -140,3 +142,30 @@ def parse_url(text):
     if not host:
         raise NetworkError("missing host in %r" % text)
     return Url(scheme, host, port, path, query, fragment)
+
+
+#: Bound on the interned-parse memo below; the crawl's URL universe
+#: (sites x resources x trackers) is far smaller than this.
+_PARSE_CACHE_MAX = 4096
+
+_PARSE_CACHE = collections.OrderedDict()
+
+
+def parse_url_cached(text):
+    """Parse with interning: repeated parses of one string share one Url.
+
+    The crawl re-parses the same landing/resource/tracker URLs for every
+    app visiting a site; :class:`Url` is immutable in practice (nothing
+    in the pipelines assigns to its fields), so a bounded LRU memo is
+    safe. Parse errors are not cached — the error path stays identical
+    to :func:`parse_url`.
+    """
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        _PARSE_CACHE.move_to_end(text)
+        return cached
+    url = parse_url(text)
+    _PARSE_CACHE[text] = url
+    while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+        _PARSE_CACHE.popitem(last=False)
+    return url

@@ -1,0 +1,287 @@
+"""Tests for the sharded crawl (repro.dynamic.crawler over repro.exec),
+the compiled-script cache, and the site-fetch memoization layer.
+
+The load-bearing property throughout: CrawlResult, the trace tree, and
+every exported metric are byte-identical at any worker count, backend,
+and script-cache setting (DESIGN.md §Dynamic throughput).
+"""
+
+import pytest
+
+import repro.dynamic.crawler as crawler_module
+from repro.errors import NetworkError
+from repro.core.study import DynamicStudy
+from repro.dynamic.apps import real_app_profiles, webview_iab_profiles
+from repro.dynamic.crawler import AdbCrawler, SYSTEM_WEBVIEW_SHELL
+from repro.exec import ExecConfig, process_backend_available
+from repro.netstack import SiteTemplateCache, default_site_template_cache
+from repro.netstack.network import Network
+from repro.obs import Obs
+from repro.web.jsengine import (
+    JsInterpreter,
+    ScriptCache,
+    parse_js,
+    record_script_events,
+    script_cache_override,
+    script_digest,
+)
+from repro.web.sites import top_sites
+from repro.web.urls import parse_url, parse_url_cached
+
+
+def run_crawl(workers=1, script_cache=None, backend=None, progress=None,
+              app_names=("LinkedIn", "Kik"), site_count=6, seed=11):
+    profiles = {p.name: p for p in real_app_profiles()}
+    obs = Obs()
+    crawler = AdbCrawler(
+        [profiles[name] for name in app_names],
+        sites=top_sites(site_count), seed=seed, obs=obs,
+        exec_config=ExecConfig(max_workers=workers, chunk_size=1,
+                               backend=backend, script_cache=script_cache),
+    )
+    result = crawler.crawl(progress=progress)
+    return crawler, result, obs
+
+
+def visit_snapshot(result):
+    return [(v.app.name, v.site.host, tuple(v.endpoints))
+            for v in result.visits]
+
+
+def metric_dicts(obs, exclude_exec=False):
+    metrics = obs.registry.as_dict()["metrics"]
+    if exclude_exec:
+        # The exec gauges intentionally encode the worker/backend
+        # configuration; everything else must not depend on it.
+        metrics = [m for m in metrics
+                   if not m["name"].startswith("repro_exec_")]
+    return metrics
+
+
+class TestShardedCrawlDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_crawl(workers=1, script_cache=False)
+
+    def test_visits_identical_across_workers(self, serial):
+        _, result1, _ = serial
+        _, result4, _ = run_crawl(workers=4, script_cache=False)
+        assert visit_snapshot(result4) == visit_snapshot(result1)
+
+    def test_visits_identical_across_cache_settings(self, serial):
+        _, cold, _ = serial
+        _, warm, _ = run_crawl(workers=1, script_cache=True)
+        assert visit_snapshot(warm) == visit_snapshot(cold)
+
+    def test_registry_identical_across_cache_settings(self):
+        _, _, obs_off = run_crawl(workers=1, script_cache=False)
+        _, _, obs_on = run_crawl(workers=1, script_cache=True)
+        assert metric_dicts(obs_on) == metric_dicts(obs_off)
+
+    def test_registry_identical_across_workers_modulo_exec(self, serial):
+        _, _, obs1 = serial
+        _, _, obs4 = run_crawl(workers=4, script_cache=False)
+        assert (metric_dicts(obs4, exclude_exec=True)
+                == metric_dicts(obs1, exclude_exec=True))
+
+    @pytest.mark.skipif(not process_backend_available(),
+                        reason="process backend unavailable")
+    def test_process_backend_matches_inline(self, serial):
+        _, result1, obs1 = serial
+        _, result_p, obs_p = run_crawl(workers=4, script_cache=False,
+                                       backend="process")
+        _, result_i, obs_i = run_crawl(workers=4, script_cache=False,
+                                       backend="inline")
+        assert visit_snapshot(result_p) == visit_snapshot(result_i)
+        assert visit_snapshot(result_p) == visit_snapshot(result1)
+        # Backends differ only in the backend-info gauge itself.
+        strip = lambda metrics: [m for m in metrics
+                                 if m["name"] != "repro_exec_backend_info"]
+        assert (strip(metric_dicts(obs_p)) == strip(metric_dicts(obs_i)))
+
+    def test_baseline_differencing_matches_serial(self, serial):
+        _, result1, _ = serial
+        _, result4, _ = run_crawl(workers=4, script_cache=True)
+        for v1, v4 in zip(result1.visits, result4.visits):
+            assert (result4.app_specific_hosts(v4)
+                    == result1.app_specific_hosts(v1))
+
+    def test_study_facade_threads_exec_config(self):
+        study = DynamicStudy(seed=7, site_count=4, obs=Obs(), max_workers=4,
+                             script_cache=True)
+        crawl = study.crawl_top_sites(apps=webview_iab_profiles()[:2])
+        assert len(crawl.visits) == 2 * 4
+        report = study.run_report()
+        assert "Dynamic execution" in report
+        assert "script-cache hit rate" in report
+
+
+class TestShardedCrawlMechanics:
+    def test_progress_hook_sees_every_shard(self):
+        outcomes = []
+        crawler, result, _ = run_crawl(workers=4, progress=outcomes.append)
+        # One ShardOutcome per app plus the baseline shell.
+        assert len(outcomes) == 3
+        assert ({o.package for o in outcomes}
+                == {a.package for a in crawler.apps}
+                | {SYSTEM_WEBVIEW_SHELL.package})
+
+    def test_worker_attr_replayed_onto_spans(self):
+        _, _, obs = run_crawl(workers=4)
+        crawl_root = obs.tracer.roots[0]
+        app_spans = [s for s in crawl_root.iter_spans()
+                     if s.name == "crawl_app"]
+        assert app_spans
+        assert all(s.attributes["worker"].startswith("w")
+                   for s in app_spans)
+
+    def test_adb_transcript_bounded(self):
+        profiles = {p.name: p for p in real_app_profiles()}
+        crawler = AdbCrawler([profiles["Snapchat"]], sites=top_sites(4),
+                             seed=3, include_baseline=False, obs=Obs(),
+                             adb_log_limit=5)
+        crawler.crawl()
+        assert len(crawler.adb_commands) == 5
+        # The retained tail ends with the last visit's teardown.
+        assert crawler.adb_commands[-1].startswith("am force-stop")
+
+    def test_crawl_metrics_match_visit_counts(self):
+        _, result, obs = run_crawl(workers=1)
+        visits = obs.registry.label_values("repro_crawl_visits_total")
+        assert sum(visits.values()) == len(result.visits) + 6  # + baseline
+        assert visits[("LinkedIn",)] == 6
+
+
+class TestCrawlResultMemoization:
+    def test_hosts_first_seen_order(self):
+        visit = crawler_module.SiteVisit(
+            SYSTEM_WEBVIEW_SHELL, top_sites(1)[0],
+            ["https://b.example/x", "https://a.example/",
+             "https://b.example/y", "https://c.example/"],
+        )
+        assert visit.hosts() == ["b.example", "a.example", "c.example"]
+
+    def test_classify_called_once_per_host_and_url(self, monkeypatch):
+        calls = []
+        real = crawler_module.classify_endpoint
+
+        def counting(host, intended_url=None):
+            calls.append((host, intended_url))
+            return real(host, intended_url=intended_url)
+
+        monkeypatch.setattr(crawler_module, "classify_endpoint", counting)
+        _, result, _ = run_crawl(app_names=("Kik",), site_count=4)
+        result.endpoint_summary("Kik")
+        first_pass = len(calls)
+        assert first_pass == len(set(calls))
+        result.endpoint_summary("Kik")
+        assert len(calls) == first_pass
+
+
+class TestScriptCache:
+    def test_miss_then_hit(self):
+        cache = ScriptCache()
+        source = "var x = 1 + 2;"
+        program = cache.parse(source)
+        assert cache.misses == 1 and cache.hits == 0
+        assert cache.parse(source) is program
+        assert cache.hits == 1
+        assert cache.time_saved_s > 0.0
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_distinct_sources_distinct_entries(self):
+        cache = ScriptCache()
+        a = cache.parse("var a = 1;")
+        b = cache.parse("var b = 2;")
+        assert a != b
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_lru_eviction_accounted(self):
+        cache = ScriptCache(max_entries=1)
+        cache.parse("var a = 1;")
+        cache.parse("var b = 2;")
+        assert cache.evictions == 1
+        cache.parse("var a = 1;")     # evicted, so a miss again
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_clear_resets_accounting(self):
+        cache = ScriptCache()
+        cache.parse("var a = 1;")
+        cache.parse("var a = 1;")
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses,
+                cache.time_saved_s) == (0, 0, 0, 0.0)
+
+    def test_digest_is_stable_content_key(self):
+        assert script_digest("var x;") == script_digest("var x;")
+        assert script_digest("var x;") != script_digest("var y;")
+
+    def test_cached_program_equals_fresh_parse(self):
+        cache = ScriptCache()
+        source = "function f(a) { return a * 2; } f(21);"
+        assert cache.parse(source) == parse_js(source)
+
+    def test_interpreter_result_identical_with_and_without_cache(self):
+        source = "var total = 0; for (var i = 0; i < 5; i++) " \
+                 "{ total += i; } total;"
+        with script_cache_override(True):
+            warm1 = JsInterpreter().run(source)
+            warm2 = JsInterpreter().run(source)
+        with script_cache_override(False):
+            cold = JsInterpreter().run(source)
+        assert warm1 == warm2 == cold
+
+    def test_events_recorded_regardless_of_cache_setting(self):
+        source = "var q = 'events';"
+        digest = script_digest(source)
+        for enabled in (True, False):
+            events = []
+            with script_cache_override(enabled), \
+                    record_script_events(events):
+                JsInterpreter().run(source)
+                JsInterpreter().run(source)
+            assert [d for d, _ in events] == [digest, digest]
+            assert all(cost > 0 for _, cost in events)
+
+
+class TestSiteFetchMemoization:
+    def test_template_shared_across_networks(self):
+        default_site_template_cache().clear()
+        sites = top_sites(3)
+        net_a = Network(seed=5, strict=False)
+        net_b = Network(seed=5, strict=False)
+        for site in sites:
+            net_a.register_site(site)
+            net_b.register_site(site)
+        cache = default_site_template_cache()
+        assert cache.misses == len(sites)
+        assert cache.hits == len(sites)
+
+    def test_registered_responses_identical_to_fresh_build(self):
+        default_site_template_cache().clear()
+        site = top_sites(1)[0]
+        url = "https://%s/" % site.host
+
+        def fetch_body():
+            network = Network(seed=9, strict=False)
+            network.register_site(site)
+            return network.fetch(url).body
+
+        assert fetch_body() == fetch_body()
+
+    def test_cache_bound_respected(self):
+        cache = SiteTemplateCache(max_entries=2)
+        for site in top_sites(4):
+            cache.template_for(site, page_html="<html></html>")
+        assert len(cache) == 2
+
+    def test_parse_url_cached_matches_parse_url(self):
+        url = "https://example.com/a/b?c=d"
+        cached = parse_url_cached(url)
+        assert cached == parse_url(url)
+        assert parse_url_cached(url) is cached
+
+    def test_parse_url_cached_rejects_bad_urls(self):
+        with pytest.raises(NetworkError):
+            parse_url_cached("not a url")
