@@ -1,0 +1,88 @@
+"""Shared benchmark-summary emitter.
+
+Every ``bench_*.py`` module funnels its machine-readable summary through
+:func:`emit_bench`, which
+
+- stamps a ``schema_version`` (bumped on layout changes, so downstream
+  tooling can reject payloads it does not understand) plus the
+  benchmark's name and the working tree's ``git describe``;
+- writes ``BENCH_<name>.json`` next to the benchmarks (override the
+  path with ``REPRO_BENCH_JSON``), sorted and newline-terminated so the
+  checked-in copies diff cleanly;
+- best-effort registers the payload into the persistent telemetry store
+  when ``REPRO_OBS_DB`` is set — giving benchmark history the same run
+  ledger the studies get, queryable via ``python -m repro.obs.store``.
+
+:func:`bench_json_fixture` builds the module-scope pytest fixture the
+benchmark modules share: tests mutate the yielded dict, and the summary
+is emitted once when the module's tests finish.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.store import TelemetryStore, git_describe
+
+#: Bump when the emitted payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def bench_json_path(name):
+    """Where ``BENCH_<name>.json`` lands (``REPRO_BENCH_JSON`` wins)."""
+    override = os.environ.get(BENCH_JSON_ENV_VAR)
+    if override and override.strip():
+        return override
+    return os.path.join(_BENCH_DIR, "BENCH_%s.json" % name)
+
+
+def emit_bench(name, data):
+    """Write one benchmark summary; returns the enriched payload.
+
+    The telemetry registration is strictly best-effort: a missing,
+    unwritable or corrupt ``REPRO_OBS_DB`` never fails a benchmark (the
+    store itself degrades to a logged warning; a bad path raises
+    ``ValueError`` from validation, also swallowed here).
+    """
+    payload = dict(data)
+    payload["schema_version"] = SCHEMA_VERSION
+    # ``name`` names the file; a module may label the payload itself
+    # more specifically (e.g. BENCH_throughput.json / pipeline_throughput).
+    payload.setdefault("benchmark", name)
+    payload.setdefault("git", git_describe())
+    with open(bench_json_path(name), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    try:
+        store = TelemetryStore.from_env()
+    except ValueError:
+        store = None
+    if store is not None:
+        store.record_bench(name, payload)
+    return payload
+
+
+def bench_json_fixture(name, **base):
+    """A module-scope fixture dict emitted via :func:`emit_bench`.
+
+    Usage in a benchmark module::
+
+        bench_json = bench_json_fixture("dynamic", site_count=20)
+
+    Extra keyword arguments seed the dict; callables are invoked at
+    fixture setup (so env-dependent values resolve per run).
+    """
+
+    @pytest.fixture(scope="module", name="bench_json")
+    def fixture():
+        data = {key: (value() if callable(value) else value)
+                for key, value in base.items()}
+        yield data
+        emit_bench(name, data)
+
+    return fixture

@@ -9,6 +9,7 @@ Quantifies what each methodological component of Figure 1 buys:
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.corpus import CorpusConfig, generate_corpus
 from repro.reporting import Table
 from repro.static_analysis.pipeline import (
@@ -17,6 +18,9 @@ from repro.static_analysis.pipeline import (
 )
 
 ABLATION_UNIVERSE = 25_000
+
+bench_json = bench_json_fixture("ablations",
+                                universe_size=ABLATION_UNIVERSE)
 
 
 @pytest.fixture(scope="module")
@@ -96,7 +100,8 @@ def test_ablation_subclass_detection(benchmark, ablation_corpus):
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_ablation_summary_table(benchmark, ablation_corpus):
+def test_ablation_summary_table(benchmark, ablation_corpus,
+                                bench_json):
     def summarize():
         rows = []
         for label, options in (
@@ -118,6 +123,9 @@ def test_ablation_summary_table(benchmark, ablation_corpus):
         table.add_row(*row)
     print()
     print(table.render())
+    bench_json["webview_apps"] = {
+        label: count for label, count, _ in rows
+    }
     full = rows[0][1]
     assert rows[1][1] >= full      # naive over-counts
     assert rows[2][1] > full       # unfiltered over-counts

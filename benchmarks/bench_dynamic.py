@@ -15,12 +15,10 @@ The site count is overridable for CI smoke runs via
 (override with ``REPRO_BENCH_JSON``).
 """
 
-import json
 import os
 import time
 
-import pytest
-
+from _emit import bench_json_fixture
 from repro.dynamic.apps import real_app_profiles, webview_iab_profiles
 from repro.dynamic.crawler import AdbCrawler
 from repro.exec import ExecConfig
@@ -36,9 +34,6 @@ from repro.obs import (
 from repro.web.jsengine import ScriptCache, parse_js
 from repro.web.sites import top_sites
 
-BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
-BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__),
-                                  "BENCH_dynamic.json")
 SITES_ENV_VAR = "REPRO_BENCH_SITES"
 SITES_DEFAULT = 20
 
@@ -56,15 +51,9 @@ def _site_count():
     return value if value > 0 else SITES_DEFAULT
 
 
-@pytest.fixture(scope="module")
-def bench_json():
-    """Collects measurements; written out when the module finishes."""
-    data = {"benchmark": "dynamic", "site_count": _site_count()}
-    yield data
-    path = os.environ.get(BENCH_JSON_ENV_VAR) or BENCH_JSON_DEFAULT
-    with open(path, "w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+# The machine-readable summary lands in BENCH_dynamic.json (override
+# with REPRO_BENCH_JSON); see benchmarks/_emit.py for the shared schema.
+bench_json = bench_json_fixture("dynamic", site_count=_site_count)
 
 
 def _run_crawl(max_workers, script_cache, clock=None):

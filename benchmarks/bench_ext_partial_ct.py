@@ -11,6 +11,7 @@ import statistics
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.dynamic.customtab_runtime import BrowserSession, PartialCustomTab
 from repro.dynamic.device import Device
 from repro.dynamic.webview_runtime import JsBridge, WebViewRuntime
@@ -19,6 +20,8 @@ from repro.netstack.network import Network
 from repro.reporting import Table
 
 AD_URL = "https://securepubads.doubleclick.net/gampad/ad"
+
+bench_json = bench_json_fixture("ext_partial_ct")
 
 
 def _device(seed):
@@ -72,7 +75,7 @@ def _partial_ct_ad_flow(seed):
 
 
 @pytest.mark.benchmark(group="ext-partial-ct")
-def test_partial_ct_vs_webview_ads(benchmark):
+def test_partial_ct_vs_webview_ads(benchmark, bench_json):
     webview_surface, _ = _webview_ad_flow(seed=1)
 
     def partial_flow():
@@ -89,6 +92,10 @@ def test_partial_ct_vs_webview_ads(benchmark):
     print()
     print(table.render())
 
+    bench_json["attack_surface"] = {
+        "webview": webview_surface, "partial_ct": ct_surface,
+    }
+
     # The entire injection surface disappears with Partial CTs.
     assert webview_surface == {"js_bridge": True, "js_injection": True,
                                "dom_access": True}
@@ -97,7 +104,7 @@ def test_partial_ct_vs_webview_ads(benchmark):
 
 
 @pytest.mark.benchmark(group="ext-partial-ct")
-def test_partial_ct_prewarmed_latency(benchmark):
+def test_partial_ct_prewarmed_latency(benchmark, bench_json):
     """With mayLaunchUrl pre-warming, CT ad loads beat cold WebView ads."""
 
     def load_pair(seed):
@@ -123,4 +130,8 @@ def test_partial_ct_prewarmed_latency(benchmark):
     ct_mean = statistics.mean(p[1] for p in pairs)
     print("\nAd fetch latency: WebView (cold) %.0fms vs Partial CT "
           "(pre-warmed) %.0fms" % (webview_mean, ct_mean))
+    bench_json["ad_fetch_ms"] = {
+        "webview_cold": round(webview_mean, 1),
+        "partial_ct_prewarmed": round(ct_mean, 1),
+    }
     assert ct_mean < webview_mean

@@ -2,11 +2,15 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.static_analysis.report import figure3
+
+bench_json = bench_json_fixture("fig3")
 
 
 @pytest.mark.benchmark(group="figure3")
-def test_figure3_category_usecases(benchmark, static_study):
+def test_figure3_category_usecases(benchmark, static_study,
+                                   bench_json):
     aggregator = static_study.aggregator
     wv_series, ct_series = benchmark(figure3, aggregator)
     print()
@@ -22,6 +26,9 @@ def test_figure3_category_usecases(benchmark, static_study):
     game_categories = {"Puzzle", "Simulation", "Action", "Arcade", "Casual"}
     games_in_top10 = game_categories & set(wv_series.categories)
     assert len(games_in_top10) >= 3
+
+    bench_json["top10_categories"] = list(wv_series.categories)
+    bench_json["game_categories_in_top10"] = sorted(games_in_top10)
 
     # Shape 2: WebView usage is advertising-led in every top category.
     advertising = wv_data.get("Advertising", {})

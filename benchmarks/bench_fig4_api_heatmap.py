@@ -2,12 +2,15 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.static_analysis.report import figure4
 
+bench_json = bench_json_fixture("fig4")
+
 
 @pytest.mark.benchmark(group="figure4")
-def test_figure4_api_heatmap(benchmark, static_study):
+def test_figure4_api_heatmap(benchmark, static_study, bench_json):
     aggregator = static_study.aggregator
     heatmap = benchmark(figure4, aggregator)
     print()
@@ -33,6 +36,15 @@ def test_figure4_api_heatmap(benchmark, static_study):
                      "%.1f%%" % data["User Support"]["loadUrl"]))
     print()
     print(paper_vs_measured("Figure 4 anchors (paper vs measured):", rows))
+
+    bench_json["anchors_pct"] = {
+        "advertising_addJavascriptInterface":
+            round(data["Advertising"]["addJavascriptInterface"], 1),
+        "advertising_evaluateJavascript":
+            round(data["Advertising"]["evaluateJavascript"], 1),
+        "payments_addJavascriptInterface":
+            round(data["Payments"]["addJavascriptInterface"], 1),
+    }
 
     # The paper's stated anchors, with sampling tolerance.
     assert data["Advertising"]["addJavascriptInterface"] > 35

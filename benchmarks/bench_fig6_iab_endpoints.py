@@ -3,10 +3,13 @@ top-site crawl, baseline-differenced against the System WebView Shell."""
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.dynamic.apps import real_app_profiles
 from repro.dynamic.crawler import AdbCrawler
 from repro.reporting import GroupedSeries
 from repro.web.sites import top_sites
+
+bench_json = bench_json_fixture("fig6")
 
 RICH = ("News", "Entertainment", "Shopping")
 LEAN = ("Search", "Technology")
@@ -20,7 +23,7 @@ def _series(title, means):
 
 
 @pytest.mark.benchmark(group="figure6")
-def test_figure6_iab_endpoints(benchmark):
+def test_figure6_iab_endpoints(benchmark, bench_json):
     profiles = {p.name: p for p in real_app_profiles()}
 
     def crawl():
@@ -53,6 +56,12 @@ def test_figure6_iab_endpoints(benchmark):
     print("\nLinkedIn rich=%.1f lean=%.1f | Kik rich=%.1f" % (
         linkedin_rich, linkedin_lean, kik_rich,
     ))
+
+    bench_json["mean_distinct_endpoints"] = {
+        "linkedin_rich": round(linkedin_rich, 1),
+        "linkedin_lean": round(linkedin_lean, 1),
+        "kik_rich": round(kik_rich, 1),
+    }
 
     # Paper 6a: >2 trackers on rich content; fewer endpoints on Search/Tech.
     assert linkedin_rich > linkedin_lean

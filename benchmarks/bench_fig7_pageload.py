@@ -4,14 +4,17 @@ import statistics
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.netstack.pageload import LoaderKind, PageLoadModel
 from repro.reporting import BarSeries
 from repro.web.sites import top_sites
 
+bench_json = bench_json_fixture("fig7")
+
 
 @pytest.mark.benchmark(group="figure7")
-def test_figure7_pageload(benchmark):
+def test_figure7_pageload(benchmark, bench_json):
     model = PageLoadModel(seed=20230113)
     sites = top_sites(20)
 
@@ -42,6 +45,13 @@ def test_figure7_pageload(benchmark):
                                               key=lambda kv: kv[1]))),
         ("WebView / CT ratio", "~2x", "%.2fx" % ratio),
     ]))
+
+    bench_json["mean_load_ms"] = {
+        str(loader): round(mean_ms, 1)
+        for loader, mean_ms in sorted(means.items(),
+                                      key=lambda kv: kv[1])
+    }
+    bench_json["webview_over_ct_ratio"] = round(ratio, 2)
 
     assert (means[LoaderKind.CUSTOM_TAB] < means[LoaderKind.CHROME]
             < means[LoaderKind.EXTERNAL_BROWSER]

@@ -13,21 +13,16 @@ The universe size is overridable for CI smoke runs via
 ``BENCH_incremental.json`` (override with ``REPRO_BENCH_JSON``).
 """
 
-import json
 import os
 import time
 
-import pytest
-
+from _emit import bench_json_fixture
 from repro.corpus import CorpusConfig, evolve_corpus, generate_corpus
 from repro.longitudinal import IncrementalRunner, RunStore
 from repro.obs import Obs
 from repro.static_analysis.export import export_study_json
 from repro.static_analysis.pipeline import StaticAnalysisPipeline
 
-BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
-BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__),
-                                  "BENCH_incremental.json")
 UNIVERSE_ENV_VAR = "REPRO_BENCH_UNIVERSE"
 UNIVERSE_DEFAULT = 12_000
 
@@ -43,15 +38,9 @@ def _universe_size():
     return value if value > 0 else UNIVERSE_DEFAULT
 
 
-@pytest.fixture(scope="module")
-def bench_json():
-    """Collects measurements; written out when the module finishes."""
-    data = {"benchmark": "incremental", "universe_size": _universe_size()}
-    yield data
-    path = os.environ.get(BENCH_JSON_ENV_VAR) or BENCH_JSON_DEFAULT
-    with open(path, "w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+# The machine-readable summary lands in BENCH_incremental.json (override
+# with REPRO_BENCH_JSON); see benchmarks/_emit.py for the shared schema.
+bench_json = bench_json_fixture("incremental", universe_size=_universe_size)
 
 
 def _timeline():

@@ -7,12 +7,11 @@ call-graph construction, and the sharded execution layer's parallel
 speedup and cache behaviour.
 """
 
-import json
-import os
 import time
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.apk.container import read_apk
 from repro.callgraph.builder import build_call_graph
 from repro.corpus import CorpusConfig, build_app_apk, generate_corpus
@@ -39,22 +38,10 @@ from repro.static_analysis.pipeline import (
 from repro.static_analysis.report import Aggregator, table2, table3
 from repro.util import DEFAULT_SEED
 
-#: Where the machine-readable throughput summary lands (override with
-#: the REPRO_BENCH_JSON env var).
-BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
-BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__),
-                                  "BENCH_throughput.json")
-
-
-@pytest.fixture(scope="module")
-def bench_json():
-    """Collects measurements; written out when the module finishes."""
-    data = {"benchmark": "pipeline_throughput"}
-    yield data
-    path = os.environ.get(BENCH_JSON_ENV_VAR) or BENCH_JSON_DEFAULT
-    with open(path, "w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+# The machine-readable summary lands in BENCH_throughput.json (override
+# with REPRO_BENCH_JSON); see benchmarks/_emit.py for the shared schema.
+bench_json = bench_json_fixture("throughput",
+                                benchmark="pipeline_throughput")
 
 
 @pytest.fixture(scope="module")

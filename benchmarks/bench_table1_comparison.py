@@ -8,6 +8,7 @@ shared browser cookies.
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.android.api import COMPARISON_MATRIX
 from repro.dynamic.customtab_runtime import BrowserSession, CustomTabRuntime
 from repro.dynamic.device import Device
@@ -19,6 +20,8 @@ from repro.reporting import Table
 from repro.web.html5_testpage import HTML5_TEST_PAGE, TEST_PAGE_URL
 from repro.web.sites import top_sites
 from repro.web.urls import parse_url
+
+bench_json = bench_json_fixture("table1")
 
 
 def _device():
@@ -79,7 +82,7 @@ def _verify_rows():
 
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_comparison(benchmark):
+def test_table1_comparison(benchmark, bench_json):
     rows = benchmark(_verify_rows)
     table = Table(["Attribute", "WebView exposes / slower", "CT verified"],
                   title="Table 1 (behaviourally verified)")
@@ -91,4 +94,9 @@ def test_table1_comparison(benchmark):
         len(COMPARISON_MATRIX),
         all(r["customtabs"] and not r["webview"] for r in COMPARISON_MATRIX),
     ))
+    bench_json["rows_verified"] = len(rows)
+    bench_json["paper_matrix_rows"] = len(COMPARISON_MATRIX)
+    bench_json["all_favor_ct"] = all(
+        r["customtabs"] and not r["webview"] for r in COMPARISON_MATRIX
+    )
     assert rows[0][2] is True

@@ -2,14 +2,17 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.corpus.config import PAPER_FUNNEL
 from repro.static_analysis.report import table2
 from repro.util import percent
 
+bench_json = bench_json_fixture("table2")
+
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_dataset_funnel(benchmark, static_study):
+def test_table2_dataset_funnel(benchmark, static_study, bench_json):
     result = static_study.result
 
     def regenerate():
@@ -39,6 +42,8 @@ def test_table2_dataset_funnel(benchmark, static_study):
     print()
     print(paper_vs_measured("Funnel stage retention (paper vs measured):",
                             rows))
+
+    bench_json["funnel"] = dict(funnel)
 
     # Shape assertions: each stage strictly narrows; broken APKs are rare.
     assert (funnel["androzoo_play_apps"] > funnel["found_on_play"]

@@ -2,13 +2,16 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.sdk.catalog import TABLE3_SDK_TYPE_COUNTS
 from repro.static_analysis.report import table3
 
+bench_json = bench_json_fixture("table3")
+
 
 @pytest.mark.benchmark(group="table3")
-def test_table3_sdk_types(benchmark, static_study):
+def test_table3_sdk_types(benchmark, static_study, bench_json):
     aggregator = static_study.aggregator
     table = benchmark(table3, aggregator)
     print()
@@ -25,6 +28,12 @@ def test_table3_sdk_types(benchmark, static_study):
         ("SDKs using CTs", paper_totals[1], total["Use CT"]),
         ("SDKs using both", paper_totals[2], total["Use both"]),
     ]))
+
+    bench_json["sdk_totals"] = {
+        "use_webviews": total["Use WebViews"],
+        "use_ct": total["Use CT"],
+        "use_both": total["Use both"],
+    }
 
     # Shape: far more WebView SDKs than CT SDKs; ads dominate WebView
     # SDK counts; engagement/user-support SDKs never use CTs.

@@ -2,13 +2,17 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured, BENCH_UNIVERSE
 from repro.sdk.catalog import PAPER_TOTAL_APPS
 from repro.static_analysis.report import table4
 
+bench_json = bench_json_fixture("table4")
+
 
 @pytest.mark.benchmark(group="table4")
-def test_table4_popular_webview_sdks(benchmark, static_study):
+def test_table4_popular_webview_sdks(benchmark, static_study,
+                                     bench_json):
     aggregator = static_study.aggregator
     table = benchmark(table4, aggregator)
     print()
@@ -37,9 +41,12 @@ def test_table4_popular_webview_sdks(benchmark, static_study):
         % (PAPER_TOTAL_APPS, analyzed, BENCH_UNIVERSE), rows,
     ))
 
+    ranked = sorted(counts, key=counts.get, reverse=True)
+    bench_json["top_webview_sdk"] = ranked[0] if ranked else None
+    bench_json["applovin_share_pct"] = round(100 * share("AppLovin"), 1)
+
     # Shape: AppLovin is the single most embedded WebView SDK, and ad SDKs
     # fill the top ranks, as in Table 4.
-    ranked = sorted(counts, key=counts.get, reverse=True)
     assert ranked[0] == "AppLovin"
     top5_categories = [
         aggregator.sdk_profile(name).category.value for name in ranked[:5]

@@ -2,13 +2,16 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.sdk.catalog import PAPER_TOTAL_APPS
 from repro.static_analysis.report import table5
 
+bench_json = bench_json_fixture("table5")
+
 
 @pytest.mark.benchmark(group="table5")
-def test_table5_popular_ct_sdks(benchmark, static_study):
+def test_table5_popular_ct_sdks(benchmark, static_study, bench_json):
     aggregator = static_study.aggregator
     table = benchmark(table5, aggregator)
     print()
@@ -27,6 +30,13 @@ def test_table5_popular_ct_sdks(benchmark, static_study):
          "%.1f%%" % (100 * 7_565 / PAPER_TOTAL_APPS),
          "%.1f%%" % (100 * counts.get("Google Firebase", 0) / analyzed)),
     ]))
+
+    bench_json["facebook_share_of_ct_apps_pct"] = round(
+        100 * facebook_cover, 1
+    )
+    bench_json["firebase_adoption_pct"] = round(
+        100 * counts.get("Google Firebase", 0) / analyzed, 1
+    )
 
     # Shape: Facebook is the top CT SDK (social), Firebase second (auth) —
     # "~98% of CT social apps rely on Facebook's SDK" (4.1.6).

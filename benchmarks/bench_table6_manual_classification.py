@@ -2,6 +2,7 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.dynamic.manual_study import ManualStudy
 
@@ -20,8 +21,12 @@ PAPER_TABLE6 = {
 }
 
 
+bench_json = bench_json_fixture("table6")
+
+
 @pytest.mark.benchmark(group="table6")
-def test_table6_manual_classification(benchmark, dynamic_study):
+def test_table6_manual_classification(benchmark, dynamic_study,
+                                      bench_json):
     def run_study():
         study = ManualStudy(seed=20230113)
         return ManualStudy.tally(study.run())
@@ -35,6 +40,12 @@ def test_table6_manual_classification(benchmark, dynamic_study):
         (label, PAPER_TABLE6[label], tally[label])
         for label in PAPER_TABLE6
     ]))
+
+    bench_json["tally"] = {label: tally[label] for label in PAPER_TABLE6}
+    bench_json["matches_paper"] = all(
+        tally[label] == expected
+        for label, expected in PAPER_TABLE6.items()
+    )
 
     for label, expected in PAPER_TABLE6.items():
         assert tally[label] == expected, label

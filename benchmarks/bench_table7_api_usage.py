@@ -2,9 +2,12 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from conftest import paper_vs_measured
 from repro.static_analysis.report import table7
 from repro.util import percent
+
+bench_json = bench_json_fixture("table7")
 
 #: Paper Table 7, as shares of the 81,720 WebView apps / 146,558 total.
 PAPER_METHOD_SHARES = {
@@ -19,7 +22,7 @@ PAPER_METHOD_SHARES = {
 
 
 @pytest.mark.benchmark(group="table7")
-def test_table7_api_usage(benchmark, static_study):
+def test_table7_api_usage(benchmark, static_study, bench_json):
     aggregator = static_study.aggregator
     table = benchmark(table7, aggregator)
     print()
@@ -49,6 +52,16 @@ def test_table7_api_usage(benchmark, static_study):
                      "%.1f%%" % measured))
     print()
     print(paper_vs_measured("Table 7 shares (paper vs measured):", rows))
+
+    bench_json["shares_pct"] = {
+        "webview_apps": round(percent(aggregator.webview_apps,
+                                      analyzed), 1),
+        "ct_apps": round(percent(aggregator.ct_apps, analyzed), 1),
+        "both_apps": round(percent(aggregator.both_apps, analyzed), 1),
+    }
+    bench_json["method_apps"] = dict(sorted(
+        aggregator.method_apps.items()
+    ))
 
     # Shape: loadUrl dominates; the method ranking's head matches the paper.
     method_counts = aggregator.method_apps

@@ -2,7 +2,10 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.dynamic.measurements import IabMeasurementHarness
+
+bench_json = bench_json_fixture("table8")
 
 #: The paper's Table 8, condensed to (js injected?, bridge injected?).
 PAPER_TABLE8 = {
@@ -27,13 +30,26 @@ PAPER_INTENTS = {
 
 
 @pytest.mark.benchmark(group="table8")
-def test_table8_iab_injections(benchmark, dynamic_study):
+def test_table8_iab_injections(benchmark, dynamic_study, bench_json):
     def run_measurements():
         return IabMeasurementHarness(seed=20230113).run()
 
     measurements = benchmark(run_measurements)
     print()
     print(dynamic_study.table8().render())
+
+    bench_json["injections"] = {
+        name: {
+            "js": measurements[name].performed_js_injection,
+            "bridge": measurements[name].performed_bridge_injection,
+        }
+        for name in sorted(PAPER_TABLE8)
+    }
+    bench_json["apps_injecting_both"] = sum(
+        1 for name in PAPER_TABLE8
+        if measurements[name].performed_js_injection
+        and measurements[name].performed_bridge_injection
+    )
 
     # Every app's (JS?, bridge?) pattern matches the paper exactly.
     for name, (paper_js, paper_bridge) in PAPER_TABLE8.items():

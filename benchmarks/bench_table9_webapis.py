@@ -2,7 +2,10 @@
 
 import pytest
 
+from _emit import bench_json_fixture
 from repro.dynamic.measurements import IabMeasurementHarness
+
+bench_json = bench_json_fixture("table9")
 
 #: Paper Table 9: the (interface, method) rows per app.
 PAPER_FACEBOOK_ROWS = {
@@ -25,7 +28,7 @@ PAPER_KIK_ROWS = {
 
 
 @pytest.mark.benchmark(group="table9")
-def test_table9_webapis(benchmark, dynamic_study):
+def test_table9_webapis(benchmark, dynamic_study, bench_json):
     def run_measurements():
         return IabMeasurementHarness(seed=20230113).run()
 
@@ -45,6 +48,13 @@ def test_table9_webapis(benchmark, dynamic_study):
     print("Kik rows reproduced: %d/%d" % (
         len(PAPER_KIK_ROWS) - len(missing_kik), len(PAPER_KIK_ROWS),
     ))
+
+    bench_json["facebook_rows_reproduced"] = (
+        len(PAPER_FACEBOOK_ROWS) - len(missing_facebook)
+    )
+    bench_json["kik_rows_reproduced"] = (
+        len(PAPER_KIK_ROWS) - len(missing_kik)
+    )
 
     assert not missing_facebook
     assert not missing_kik

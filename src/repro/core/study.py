@@ -9,14 +9,25 @@ from repro.dynamic.manual_study import ManualStudy
 from repro.dynamic.measurements import IabMeasurementHarness
 from repro.exec import ExecConfig
 from repro.obs import Obs
+from repro.obs.progress import ProgressReporter, progress_enabled
+from repro.obs.store import TelemetryStore
 from repro.reporting import Table
 from repro.static_analysis.pipeline import (
     PipelineOptions,
     StaticAnalysisPipeline,
 )
 from repro.static_analysis import report as static_report
-from repro.util import DEFAULT_SEED
+from repro.util import DEFAULT_SEED, fingerprint_token
 from repro.web.sites import top_sites
+
+
+def _default_progress(progress_hook, label):
+    """An env-enabled reporter when the caller did not supply a hook."""
+    if progress_hook is not None:
+        return progress_hook
+    if progress_enabled():
+        return ProgressReporter(label=label)
+    return None
 
 
 class StaticStudy:
@@ -31,7 +42,7 @@ class StaticStudy:
 
     def __init__(self, universe_size=20_000, seed=DEFAULT_SEED, corpus=None,
                  options=None, obs=None, max_workers=None, chunk_size=None,
-                 exec_backend=None):
+                 exec_backend=None, telemetry=None, progress_hook=None):
         #: Per-study observability bundle (registry + tracer + clock).
         self.obs = obs if obs is not None else Obs()
         if corpus is None:
@@ -44,16 +55,29 @@ class StaticStudy:
         self.exec_config = ExecConfig(max_workers=max_workers,
                                       chunk_size=chunk_size,
                                       backend=exec_backend)
-        self.pipeline = StaticAnalysisPipeline(corpus, options=self.options,
-                                               obs=self.obs,
-                                               exec_config=self.exec_config)
+        #: Run-history sink; defaults to ``REPRO_OBS_DB`` when set.
+        self.telemetry = (telemetry if telemetry is not None
+                          else TelemetryStore.from_env())
+        self.progress_hook = _default_progress(progress_hook, "static")
+        self.pipeline = StaticAnalysisPipeline(
+            corpus, options=self.options, obs=self.obs,
+            exec_config=self.exec_config,
+            progress_hook=self.progress_hook,
+        )
         self.result = None
         self._aggregator = None
 
     def run(self, max_apps=None, progress=None):
-        """Run the pipeline; memoizes the result."""
+        """Run the pipeline; memoizes the result and persists telemetry."""
         self.result = self.pipeline.run(max_apps=max_apps, progress=progress)
         self._aggregator = None
+        if self.telemetry is not None:
+            self.telemetry.record_run(
+                self.obs, "static",
+                corpus=self.corpus.fingerprint(),
+                options=fingerprint_token(self.options.cache_key()),
+                items=self.result.analyzed, root_span="run",
+            )
         return self.result
 
     @property
@@ -124,9 +148,13 @@ class DynamicStudy:
 
     def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000,
                  obs=None, max_workers=None, chunk_size=None,
-                 exec_backend=None, script_cache=None):
+                 exec_backend=None, script_cache=None, telemetry=None,
+                 progress_hook=None):
         self.seed = seed
         self.obs = obs if obs is not None else Obs()
+        self.telemetry = (telemetry if telemetry is not None
+                          else TelemetryStore.from_env())
+        self.progress_hook = _default_progress(progress_hook, "crawl")
         self.sites = top_sites(site_count)
         self.manual_study = ManualStudy(total_apps=total_apps, seed=seed)
         self.harness = IabMeasurementHarness(seed=seed)
@@ -212,7 +240,22 @@ class DynamicStudy:
             crawler = AdbCrawler(apps, sites=self.sites, seed=self.seed,
                                  obs=self.obs,
                                  exec_config=self.exec_config)
-            self._crawl = crawler.crawl(progress=progress)
+            from repro.exec import chain_results
+
+            self._crawl = crawler.crawl(
+                progress=chain_results(progress, self.progress_hook)
+            )
+            if self.telemetry is not None:
+                self.telemetry.record_run(
+                    self.obs, "dynamic",
+                    corpus=fingerprint_token(
+                        ("crawl", self.seed, len(self.sites))
+                    ),
+                    options=fingerprint_token(
+                        ("script_cache", self.exec_config.script_cache)
+                    ),
+                    items=len(self._crawl.visits), root_span="crawl",
+                )
         return self._crawl
 
     def run_report(self):

@@ -337,6 +337,7 @@ class AdbCrawler:
             ))
         self.exec_config = exec_config
         self.log = get_logger("dynamic.crawler")
+        self._execute_span = None
         self._visits = self.obs.counter(
             CRAWL_VISITS_METRIC, "Completed (app, site) crawl visits.",
             ("app",),
@@ -403,7 +404,13 @@ class AdbCrawler:
         fn = functools.partial(_run_crawl_shard, settings)
         with self.obs.span("execute", backend=pool.name,
                            workers=self.exec_config.max_workers,
-                           shards=len(shards)):
+                           shards=len(shards)) as execute_span:
+            # Remembered so shard spans replay under this span during
+            # the merge (it is closed by then) — same tree shape as the
+            # static pipeline's execute/analyze_app nesting.
+            self._execute_span = execute_span
+            if hasattr(progress, "begin"):
+                progress.begin(len(shards))
             return pool.map(shards, fn, on_result=progress)
 
     def _merge_shard(self, app, outcome, visits, baseline_visits):
@@ -438,7 +445,7 @@ class AdbCrawler:
             root = Span.from_dict(data)
             if outcome.worker is not None:
                 root.set_attribute("worker", "w%d" % outcome.worker)
-            parent = tracer.current()
+            parent = self._execute_span or tracer.current()
             if parent is not None:
                 parent.children.append(root)
             else:

@@ -54,6 +54,7 @@ from repro.exec.pool import (
     InlinePool,
     ProcessPool,
     WorkerPool,
+    chain_results,
     make_pool,
     process_backend_available,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "SCRIPT_CACHE_ENV_VAR",
     "Schedule",
     "WorkerPool",
+    "chain_results",
     "env_max_entries",
     "make_pool",
     "process_backend_available",

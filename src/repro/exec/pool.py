@@ -42,6 +42,36 @@ class WorkerPool:
         raise NotImplementedError
 
 
+def chain_results(*callbacks):
+    """Fan one ``on_result`` slot out to several per-result hooks.
+
+    Nones are dropped; with nothing left the chain is None (so pools
+    skip the call entirely), and a single survivor is returned as-is.
+    Lets the pipeline stack its checkpoint sink and a progress reporter
+    on the same pool without either knowing about the other.
+    """
+    hooks = [cb for cb in callbacks if cb is not None]
+    if not hooks:
+        return None
+    if len(hooks) == 1:
+        return hooks[0]
+
+    def fanout(value):
+        for hook in hooks:
+            hook(value)
+
+    begins = [hook.begin for hook in hooks if hasattr(hook, "begin")]
+    if begins:
+        # Progress reporters learn the expected total via begin();
+        # forward it so chaining keeps their percentages working.
+        def begin(total):
+            for hook_begin in begins:
+                hook_begin(total)
+
+        fanout.begin = begin
+    return fanout
+
+
 class InlinePool(WorkerPool):
     """In-process execution, strictly in input order."""
 

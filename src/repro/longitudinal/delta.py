@@ -96,7 +96,10 @@ class IncrementalRunner:
     """Schedules snapshot runs of one corpus through a RunStore."""
 
     def __init__(self, corpus, run_store=None, options=None, labeler=None,
-                 obs=None, exec_config=None, checkpoint_every=25):
+                 obs=None, exec_config=None, checkpoint_every=25,
+                 telemetry=None, progress_hook=None):
+        from repro.obs.store import TelemetryStore
+
         self.corpus = corpus
         self.store = run_store if run_store is not None else RunStore()
         self.options = options or PipelineOptions()
@@ -105,6 +108,12 @@ class IncrementalRunner:
         self.exec_config = (exec_config if exec_config is not None
                             else ExecConfig())
         self.checkpoint_every = checkpoint_every
+        #: Run-history sink; defaults to ``REPRO_OBS_DB`` when set. Each
+        #: snapshot run is recorded and its manifest points back at the
+        #: telemetry run via ``telemetry_run``.
+        self.telemetry = (telemetry if telemetry is not None
+                          else TelemetryStore.from_env())
+        self.progress_hook = progress_hook
         #: Store namespace: universe identity x options fingerprint.
         self.context = "%s-%s" % (
             corpus.fingerprint(), options_token(self.options.cache_key())
@@ -159,9 +168,20 @@ class IncrementalRunner:
             self.corpus, options=self.options, labeler=self.labeler,
             obs=self.obs, exec_config=self.exec_config, cache=cache,
             snapshot_date=date, checkpoint=sink,
+            progress_hook=self.progress_hook,
         )
         result = pipeline.run(max_apps=max_apps, progress=progress)
         handle.flush()
+        # Telemetry is recorded *before* finalize so the completion
+        # manifest can carry the pointer into the run-history store.
+        telemetry_run = None
+        if self.telemetry is not None:
+            telemetry_run = self.telemetry.record_run(
+                self.obs, "longitudinal", label=date.isoformat(),
+                corpus=self.corpus.fingerprint(),
+                options=options_token(fingerprint),
+                items=result.analyzed, root_span="run",
+            )
         manifest = handle.finalize(
             snapshot_date=date.isoformat(),
             context=self.context,
@@ -171,6 +191,7 @@ class IncrementalRunner:
             resumed=cache.resumed,
             delta=delta.counts(),
             prior_run=prior["run_id"] if prior else None,
+            telemetry_run=telemetry_run,
         )
 
         mode = ("resumed" if recovered

@@ -38,7 +38,7 @@ import os
 import pickle
 
 from repro.exec import AnalysisCache
-from repro.util import sha256_hex
+from repro.util import fingerprint_token
 
 #: Directory for the persistent store; unset means in-memory only.
 RUN_STORE_ENV_VAR = "REPRO_RUN_STORE"
@@ -56,8 +56,7 @@ def _env_store_dir():
 
 def options_token(fingerprint):
     """Compact digest of a PipelineOptions cache key, used in filenames."""
-    material = repr(tuple(fingerprint)).encode("utf-8")
-    return sha256_hex(material)[:8]
+    return fingerprint_token(fingerprint)
 
 
 class RunStore:

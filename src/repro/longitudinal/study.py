@@ -37,7 +37,8 @@ class LongitudinalStudy:
     def __init__(self, universe_size=8_000, seed=DEFAULT_SEED, corpus=None,
                  dates=DEFAULT_SNAPSHOT_DATES, churn=None, run_store=None,
                  options=None, obs=None, max_workers=None, chunk_size=None,
-                 exec_backend=None, checkpoint_every=25):
+                 exec_backend=None, checkpoint_every=25, telemetry=None,
+                 progress_hook=None):
         self.obs = obs if obs is not None else Obs()
         if corpus is None:
             corpus = generate_corpus(
@@ -56,6 +57,8 @@ class LongitudinalStudy:
                                    chunk_size=chunk_size,
                                    backend=exec_backend),
             checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
+            progress_hook=progress_hook,
         )
         #: Completed IncrementalRuns, in snapshot order.
         self.runs = []

@@ -39,6 +39,12 @@ from repro.obs.metrics import (
     TickClock,
     default_registry,
     parse_prometheus_text,
+    validate_prometheus_text,
+)
+from repro.obs.progress import (
+    PROGRESS_ENV_VAR,
+    ProgressReporter,
+    progress_enabled,
 )
 from repro.obs.report import (
     APPS_ANALYZED_METRIC,
@@ -158,6 +164,14 @@ class Obs:
 #: registry so standalone (non-study) calls still produce stage metrics.
 _DEFAULT_OBS = Obs(registry=REGISTRY, tracer=default_tracer())
 
+# Imported last: repro.obs.perf and repro.obs.store reach back into this
+# package's submodules (report constants, the live Span/registry types).
+from repro.obs.store import (  # noqa: E402
+    OBS_DB_ENV_VAR,
+    TelemetryStore,
+    git_describe,
+)
+
 
 def default_obs():
     return _DEFAULT_OBS
@@ -193,7 +207,10 @@ __all__ = [
     "Histogram",
     "LOG_LEVEL_ENV_VAR",
     "MetricsRegistry",
+    "OBS_DB_ENV_VAR",
     "Obs",
+    "PROGRESS_ENV_VAR",
+    "ProgressReporter",
     "REGISTRY",
     "SCRIPT_CACHE_HITS_METRIC",
     "SCRIPT_CACHE_MISSES_METRIC",
@@ -203,6 +220,7 @@ __all__ = [
     "STAGE_SECONDS_METRIC",
     "Span",
     "StructuredLogger",
+    "TelemetryStore",
     "TickClock",
     "Tracer",
     "bind_context",
@@ -214,8 +232,11 @@ __all__ = [
     "default_tracer",
     "format_kv",
     "get_logger",
+    "git_describe",
     "parse_prometheus_text",
+    "progress_enabled",
     "render_run_report",
     "trace_span",
     "use_tracer",
+    "validate_prometheus_text",
 ]

@@ -100,17 +100,37 @@ def get_logger(name=""):
     return StructuredLogger(logging.getLogger(qualified))
 
 
+#: Level names accepted (case-insensitively) by :func:`resolve_level`.
+VALID_LEVEL_NAMES = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+
 def resolve_level(level=None):
-    """Resolve a level name/number, consulting ``REPRO_LOG_LEVEL`` last."""
+    """Resolve a level name/number, consulting ``REPRO_LOG_LEVEL`` last.
+
+    A bad value raises :class:`ValueError` immediately — naming the
+    environment variable when that is where the value came from — so a
+    typo'd ``REPRO_LOG_LEVEL=vrebose`` fails at :func:`configure` time
+    with an actionable message instead of deep inside a run.
+    """
+    source = None
     if level is None:
-        level = os.environ.get(LOG_LEVEL_ENV_VAR) or logging.INFO
+        env_value = os.environ.get(LOG_LEVEL_ENV_VAR)
+        if env_value:
+            level, source = env_value, LOG_LEVEL_ENV_VAR
+        else:
+            level = logging.INFO
     if isinstance(level, str):
         text = level.strip()
         if text.isdigit():
             return int(text)
         resolved = logging.getLevelName(text.upper())
         if not isinstance(resolved, int):
-            raise ValueError("unknown log level %r" % level)
+            where = (" (from the %s environment variable)" % source
+                     if source else "")
+            raise ValueError(
+                "unknown log level %r%s; use one of %s or a numeric level"
+                % (level, where, "/".join(VALID_LEVEL_NAMES))
+            )
         return resolved
     return int(level)
 

@@ -94,6 +94,9 @@ def render_run_report(obs, title, items_label="apps", items_count=0,
     stages = _stage_table(obs, elapsed_for(obs.tracer, root_span))
     if stages is not None:
         sections.append(stages)
+    profiled = _profile_table(obs)
+    if profiled is not None:
+        sections.append(profiled)
     rendered = "\n\n".join(table_to_markdown(table) for table in sections)
     return "**%s**\n\n%s" % (title, rendered)
 
@@ -220,6 +223,40 @@ def _drop_table(obs, drop_metric):
     for labels, count in ordered:
         table.add_row(labels[0], int(count))
     table.add_row("total", int(sum(drops.values())))
+    return table
+
+
+def _profile_table(obs):
+    """Critical-path profile of the run's span forest.
+
+    Unlike the stage-share table (built from counters, where nested
+    spans double-count their children), self times here exclude child
+    spans, so the column is a true cost breakdown; the critical-path
+    share says how much of the run's longest dependency chain each stage
+    owns — the stages worth optimizing first.
+    """
+    # Imported lazily: repro.obs.perf imports this module's metric names.
+    from repro.obs import perf
+
+    roots = list(obs.tracer.roots)
+    if not roots:
+        return None
+    prof = perf.profile(roots)
+    total_self = sum(stage.self_time for stage in prof.stages.values())
+    table = Table(
+        ["stage", "self clock s", "self %", "critical path %", "calls"],
+        title="Profile (self time excludes child spans; critical path "
+              "%.3f clock s)" % prof.critical_length,
+    )
+    for stage in prof.ordered():
+        table.add_row(
+            stage.name,
+            "%.3f" % stage.self_time,
+            "%.1f" % (100.0 * stage.self_time / total_self
+                      if total_self else 0.0),
+            "%.1f" % (100.0 * prof.path_share(stage.name)),
+            stage.calls,
+        )
     return table
 
 

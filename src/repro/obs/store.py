@@ -1,0 +1,559 @@
+"""Persistent telemetry store: run history in one SQLite file.
+
+Every finished study run — static, dynamic, longitudinal snapshot, or
+benchmark — can persist its observability state (span forest, metrics
+registry snapshot, benchmark payloads) into a single SQLite database
+named by the ``REPRO_OBS_DB`` environment variable. The store is the
+substrate for the analyses in :mod:`repro.obs.perf`: critical-path
+profiles and flamegraphs of any historical run, and regression gating of
+the latest run against the median of its predecessors.
+
+Design points, mirroring the longitudinal RunStore's conventions:
+
+- **Append-only.** Rows are only ever inserted; a run is immutable once
+  recorded. "Latest" queries order by the monotonically increasing
+  ``seq`` rowid.
+- **Keyed for comparability.** Runs carry ``(kind, corpus fingerprint,
+  options token, git describe)``; the regression gate only compares runs
+  of the same kind/corpus/options, so a corpus change never reads as a
+  latency regression.
+- **Concurrent-safe.** WAL journal mode plus a busy timeout lets
+  concurrent writers (parallel CI legs, two benchmark processes) append
+  without corrupting each other, and readers never block writers. Every
+  operation opens a fresh connection, so the store is fork-safe.
+- **Corrupt reads as absent, failed writes as warnings.** Telemetry is
+  an observer: a truncated or garbage database yields empty listings
+  (same contract as a corrupt RunStore checkpoint), and a failed insert
+  logs a warning instead of failing the run it was watching.
+
+The module doubles as a CLI::
+
+    python -m repro.obs.store list [--kind static]
+    python -m repro.obs.store show static-000003
+    python -m repro.obs.store check --kind static
+    python -m repro.obs.store flamegraph static-000003 --out run.folded
+
+``check`` exits non-zero when the latest run breaches the regression
+thresholds against its baseline window — CI wires it in as a soft gate.
+"""
+
+import argparse
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+
+from repro.obs import perf
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span
+
+#: Environment variable naming the telemetry database file.
+OBS_DB_ENV_VAR = "REPRO_OBS_DB"
+
+#: Bumped on any schema change; old files are never migrated in place
+#: (append-only history is cheap to regenerate, unlike run outcomes).
+SCHEMA_VERSION = 1
+
+_BUSY_TIMEOUT_MS = 5000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS schema_info (
+    version INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id TEXT UNIQUE,
+    kind TEXT NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    corpus TEXT NOT NULL DEFAULT '',
+    options TEXT NOT NULL DEFAULT '',
+    git TEXT NOT NULL DEFAULT '',
+    items INTEGER NOT NULL DEFAULT 0,
+    elapsed REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS traces (
+    run_seq INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    tree TEXT NOT NULL,
+    PRIMARY KEY (run_seq, position)
+);
+CREATE TABLE IF NOT EXISTS registries (
+    run_seq INTEGER PRIMARY KEY,
+    snapshot TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bench_payloads (
+    run_seq INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (run_seq, name)
+);
+CREATE INDEX IF NOT EXISTS runs_by_key
+    ON runs (kind, corpus, options, seq);
+"""
+
+
+def env_db_path():
+    """The validated ``REPRO_OBS_DB`` value, or None when unset/blank.
+
+    The variable must name a *file* path whose parent directory exists
+    or is creatable; pointing it at an existing directory is the most
+    common misconfiguration and gets a specific message.
+    """
+    raw = os.environ.get(OBS_DB_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    path = raw.strip()
+    if os.path.isdir(path):
+        raise ValueError(
+            "%s=%r is a directory; it must name a database file, e.g. "
+            "%s=%s" % (OBS_DB_ENV_VAR, raw, OBS_DB_ENV_VAR,
+                       os.path.join(path, "telemetry.db"))
+        )
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError as exc:
+            raise ValueError(
+                "%s=%r names a file in an uncreatable directory (%s)"
+                % (OBS_DB_ENV_VAR, raw, exc)
+            )
+    return path
+
+
+def git_describe(cwd=None):
+    """``git describe --always --dirty`` of the working tree, or ''."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd, capture_output=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    if out.returncode != 0:
+        return ""
+    return out.stdout.decode("utf-8", "replace").strip()
+
+
+class TelemetryStore:
+    """Append-only SQLite sink for finished runs' observability state."""
+
+    def __init__(self, path):
+        if not path or not str(path).strip():
+            raise ValueError(
+                "TelemetryStore needs a database file path; set the %s "
+                "environment variable or pass one explicitly"
+                % OBS_DB_ENV_VAR
+            )
+        self.path = str(path)
+        self.log = get_logger("obs.store")
+        self._ensure_schema()
+
+    @classmethod
+    def from_env(cls):
+        """A store for ``REPRO_OBS_DB``, or None when the var is unset."""
+        path = env_db_path()
+        if path is None:
+            return None
+        return cls(path)
+
+    # -- connections ---------------------------------------------------------
+
+    def _connect(self):
+        # A fresh connection per operation keeps the store safe across
+        # fork-based worker pools (sqlite connections must not cross a
+        # fork) and lets concurrent processes interleave via WAL.
+        conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_MS / 1000.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA busy_timeout=%d" % _BUSY_TIMEOUT_MS)
+        return conn
+
+    def _ensure_schema(self):
+        conn = self._connect()
+        try:
+            with conn:
+                conn.executescript(_SCHEMA)
+                row = conn.execute(
+                    "SELECT version FROM schema_info"
+                ).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO schema_info (version) VALUES (?)",
+                        (SCHEMA_VERSION,),
+                    )
+                elif row[0] != SCHEMA_VERSION:
+                    raise ValueError(
+                        "telemetry database %s has schema version %d, "
+                        "this build writes version %d; point %s at a "
+                        "fresh file" % (self.path, row[0], SCHEMA_VERSION,
+                                        OBS_DB_ENV_VAR)
+                    )
+        finally:
+            conn.close()
+
+    # -- writes --------------------------------------------------------------
+
+    def record_run(self, obs, kind, label="", corpus="", options="",
+                   git=None, items=0, root_span="run"):
+        """Persist one finished run's bundle; returns run_id or None.
+
+        Failure to write is logged and swallowed — the telemetry store
+        observes runs, it must never fail one.
+        """
+        if git is None:
+            git = git_describe()
+        trees = [json.dumps(root.to_dict(), sort_keys=True)
+                 for root in obs.tracer.roots]
+        snapshot = json.dumps(obs.registry.as_dict(), sort_keys=True)
+        elapsed = sum(
+            span.duration for span in obs.tracer.iter_spans()
+            if span.name == root_span
+        )
+        try:
+            return self._insert_run(kind, label, corpus, options, git,
+                                    items, elapsed, trees, snapshot, ())
+        except sqlite3.Error as exc:
+            self.log.warning("record_failed", kind=kind, error=str(exc))
+            return None
+
+    def record_bench(self, name, payload, git=None):
+        """Persist one benchmark's JSON payload; returns run_id or None."""
+        if git is None:
+            git = git_describe()
+        try:
+            return self._insert_run(
+                "bench", name, "", "", git, 0, 0.0, (), None,
+                ((name, json.dumps(payload, sort_keys=True)),),
+            )
+        except sqlite3.Error as exc:
+            self.log.warning("record_failed", kind="bench", error=str(exc))
+            return None
+
+    def _insert_run(self, kind, label, corpus, options, git, items,
+                    elapsed, trees, snapshot, payloads):
+        conn = self._connect()
+        try:
+            with conn:
+                # BEGIN IMMEDIATE serializes the id allocation across
+                # concurrent writer processes.
+                conn.execute("BEGIN IMMEDIATE")
+                cursor = conn.execute(
+                    "INSERT INTO runs (kind, label, corpus, options, git,"
+                    " items, elapsed) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (kind, label, corpus, options, git, items, elapsed),
+                )
+                seq = cursor.lastrowid
+                run_id = "%s-%06d" % (kind, seq)
+                conn.execute("UPDATE runs SET run_id = ? WHERE seq = ?",
+                             (run_id, seq))
+                for position, tree in enumerate(trees):
+                    conn.execute(
+                        "INSERT INTO traces (run_seq, position, tree)"
+                        " VALUES (?, ?, ?)",
+                        (seq, position, tree),
+                    )
+                if snapshot is not None:
+                    conn.execute(
+                        "INSERT INTO registries (run_seq, snapshot)"
+                        " VALUES (?, ?)",
+                        (seq, snapshot),
+                    )
+                for name, payload in payloads:
+                    conn.execute(
+                        "INSERT INTO bench_payloads (run_seq, name,"
+                        " payload) VALUES (?, ?, ?)",
+                        (seq, name, payload),
+                    )
+        finally:
+            conn.close()
+        self.log.info("recorded", run=run_id, kind=kind, items=items)
+        return run_id
+
+    # -- reads (corrupt database => empty results) ---------------------------
+
+    def _query(self, sql, params=()):
+        try:
+            conn = self._connect()
+        except sqlite3.Error:
+            return []
+        try:
+            return conn.execute(sql, params).fetchall()
+        except sqlite3.Error:
+            return []
+        finally:
+            conn.close()
+
+    def list_runs(self, kind=None):
+        """Run metadata dicts, oldest first; optionally one kind only."""
+        sql = ("SELECT run_id, kind, label, corpus, options, git, items,"
+               " elapsed FROM runs")
+        params = ()
+        if kind is not None:
+            sql += " WHERE kind = ?"
+            params = (kind,)
+        sql += " ORDER BY seq"
+        return [
+            {"run_id": row[0], "kind": row[1], "label": row[2],
+             "corpus": row[3], "options": row[4], "git": row[5],
+             "items": row[6], "elapsed": row[7]}
+            for row in self._query(sql, params)
+        ]
+
+    def get_run(self, run_id):
+        """One run's metadata dict, or None."""
+        rows = self._query(
+            "SELECT run_id, kind, label, corpus, options, git, items,"
+            " elapsed FROM runs WHERE run_id = ?", (run_id,),
+        )
+        if not rows:
+            return None
+        row = rows[0]
+        return {"run_id": row[0], "kind": row[1], "label": row[2],
+                "corpus": row[3], "options": row[4], "git": row[5],
+                "items": row[6], "elapsed": row[7]}
+
+    def load_spans(self, run_id):
+        """The run's span forest, rebuilt as live :class:`Span` trees."""
+        rows = self._query(
+            "SELECT tree FROM traces WHERE run_seq ="
+            " (SELECT seq FROM runs WHERE run_id = ?) ORDER BY position",
+            (run_id,),
+        )
+        roots = []
+        for (tree,) in rows:
+            try:
+                roots.append(Span.from_dict(json.loads(tree)))
+            except (ValueError, KeyError, TypeError):
+                continue
+        return roots
+
+    def load_registry(self, run_id):
+        """The run's metrics registry snapshot, or None."""
+        rows = self._query(
+            "SELECT snapshot FROM registries WHERE run_seq ="
+            " (SELECT seq FROM runs WHERE run_id = ?)", (run_id,),
+        )
+        if not rows:
+            return None
+        try:
+            return MetricsRegistry.from_dict(json.loads(rows[0][0]))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def load_bench(self, run_id):
+        """``{name: payload}`` for a bench run's recorded payloads."""
+        rows = self._query(
+            "SELECT name, payload FROM bench_payloads WHERE run_seq ="
+            " (SELECT seq FROM runs WHERE run_id = ?)", (run_id,),
+        )
+        out = {}
+        for name, payload in rows:
+            try:
+                out[name] = json.loads(payload)
+            except ValueError:
+                continue
+        return out
+
+    def last_runs(self, kind, corpus=None, options=None, limit=10):
+        """run_ids of the newest matching runs, newest first."""
+        sql = "SELECT run_id FROM runs WHERE kind = ?"
+        params = [kind]
+        if corpus is not None:
+            sql += " AND corpus = ?"
+            params.append(corpus)
+        if options is not None:
+            sql += " AND options = ?"
+            params.append(options)
+        sql += " ORDER BY seq DESC LIMIT ?"
+        params.append(int(limit))
+        return [row[0] for row in self._query(sql, tuple(params))]
+
+    def __repr__(self):
+        return "TelemetryStore(%s)" % self.path
+
+
+# -- regression gate ----------------------------------------------------------
+
+
+def check_latest(store, kind, window=None, thresholds=None):
+    """Gate the newest ``kind`` run against its predecessors' median.
+
+    The baseline window only spans runs sharing the latest run's
+    ``(corpus, options)`` key. Returns ``(latest_meta, findings,
+    breaches)``; with no latest run or no baseline, findings are empty
+    (nothing to gate is a pass).
+    """
+    if window is None:
+        window = perf.Thresholds.baseline_window()
+    latest_ids = store.last_runs(kind, limit=1)
+    if not latest_ids:
+        return None, [], []
+    latest = store.get_run(latest_ids[0])
+    candidates = store.last_runs(kind, corpus=latest["corpus"],
+                                 options=latest["options"],
+                                 limit=window + 1)
+    baseline_ids = [rid for rid in candidates if rid != latest["run_id"]]
+    latest_registry = store.load_registry(latest["run_id"])
+    if latest_registry is None:
+        return latest, [], []
+    baseline_stats = []
+    for run_id in baseline_ids:
+        registry = store.load_registry(run_id)
+        if registry is not None:
+            baseline_stats.append(perf.run_stats(registry))
+    findings, breaches = perf.check_window(
+        baseline_stats, perf.run_stats(latest_registry), thresholds
+    )
+    return latest, findings, breaches
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _open_store(args):
+    if args.db:
+        return TelemetryStore(args.db)
+    store = TelemetryStore.from_env()
+    if store is None:
+        raise SystemExit(
+            "no telemetry database: set %s or pass --db" % OBS_DB_ENV_VAR
+        )
+    return store
+
+
+def _cmd_list(store, args):
+    runs = store.list_runs(kind=args.kind)
+    if not runs:
+        print("no runs recorded")
+        return 0
+    for run in runs:
+        print("%-18s %-12s items=%-7d elapsed=%-10.3f %s %s" % (
+            run["run_id"], run["kind"], run["items"], run["elapsed"],
+            run["git"] or "-", run["label"],
+        ))
+    return 0
+
+
+def _cmd_show(store, args):
+    meta = store.get_run(args.run_id)
+    if meta is None:
+        print("unknown run %r" % args.run_id, file=sys.stderr)
+        return 1
+    print(json.dumps(meta, indent=2, sort_keys=True))
+    roots = store.load_spans(args.run_id)
+    if roots:
+        prof = perf.profile(roots)
+        print("\ncritical path: %.3f clock s" % prof.critical_length)
+        for stage in prof.ordered():
+            print("  %-24s self=%-8.3f calls=%-5d cp-share=%.1f%%" % (
+                stage.name, stage.self_time, stage.calls,
+                100.0 * prof.path_share(stage.name),
+            ))
+    payloads = store.load_bench(args.run_id)
+    for name in sorted(payloads):
+        print("\nbench payload %s:" % name)
+        print(json.dumps(payloads[name], indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_check(store, args):
+    thresholds = perf.Thresholds(
+        stage_ratio=args.stage_ratio,
+        hit_rate_drop=args.hit_rate_drop,
+        drop_rate_increase=args.drop_rate_increase,
+    )
+    latest, findings, breaches = check_latest(
+        store, args.kind, window=args.window, thresholds=thresholds
+    )
+    if latest is None:
+        print("no %r runs recorded; nothing to check" % args.kind)
+        return 0
+    print("latest run: %s (git %s)" % (latest["run_id"],
+                                       latest["git"] or "-"))
+    if not findings:
+        print("no baseline runs with matching corpus/options; pass")
+        return 0
+    for finding in findings:
+        marker = "REGRESSION" if finding.breach else "ok"
+        print("%-10s %-28s %s" % (marker, finding.metric, finding.detail))
+    if breaches:
+        print("%d regression(s) detected" % len(breaches))
+        return 1
+    print("within thresholds")
+    return 0
+
+
+def _cmd_flamegraph(store, args):
+    run_id = args.run_id
+    if run_id is None:
+        runs = store.last_runs(args.kind) if args.kind else None
+        if not runs:
+            ids = [r["run_id"] for r in store.list_runs()]
+            runs = ids[::-1]
+        if not runs:
+            print("no runs recorded", file=sys.stderr)
+            return 1
+        run_id = runs[0]
+    roots = store.load_spans(run_id)
+    if not roots:
+        print("run %r has no recorded spans" % run_id, file=sys.stderr)
+        return 1
+    folded = perf.flamegraph(roots)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(folded)
+        print("wrote %s (%d stacks)" % (args.out, len(folded.splitlines())))
+    else:
+        sys.stdout.write(folded)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.store",
+        description="Inspect and gate the persistent telemetry store.",
+    )
+    parser.add_argument("--db", help="database file (default: $%s)"
+                        % OBS_DB_ENV_VAR)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("list", help="list recorded runs")
+    cmd.add_argument("--kind", help="only runs of this kind")
+
+    cmd = commands.add_parser("show", help="dump one run's profile")
+    cmd.add_argument("run_id")
+
+    cmd = commands.add_parser(
+        "check", help="gate the latest run against its baseline window"
+    )
+    cmd.add_argument("--kind", default="static")
+    cmd.add_argument("--window", type=int, default=None,
+                     help="baseline runs to median over (default $%s or 5)"
+                     % perf.BASELINE_WINDOW_ENV_VAR)
+    cmd.add_argument("--stage-ratio", type=float, default=None)
+    cmd.add_argument("--hit-rate-drop", type=float, default=None)
+    cmd.add_argument("--drop-rate-increase", type=float, default=None)
+
+    cmd = commands.add_parser(
+        "flamegraph", help="emit collapsed-stack text for one run"
+    )
+    cmd.add_argument("run_id", nargs="?", default=None,
+                     help="run to fold (default: newest run)")
+    cmd.add_argument("--kind", help="with no run_id: newest of this kind")
+    cmd.add_argument("--out", help="write to a file instead of stdout")
+
+    args = parser.parse_args(argv)
+    store = _open_store(args)
+    handler = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "check": _cmd_check,
+        "flamegraph": _cmd_flamegraph,
+    }[args.command]
+    return handler(store, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

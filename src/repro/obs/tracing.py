@@ -32,6 +32,8 @@ class Span:
 
     OK = "ok"
     ERROR = "error"
+    #: Export-only status for spans still open at export time.
+    OPEN = "open"
 
     def __init__(self, name, attributes=None, start=0.0):
         self.name = name
@@ -66,13 +68,26 @@ class Span:
         self.error = "%s: %s" % (type(exc).__name__, exc)
 
     def to_dict(self):
-        out = {
-            "name": self.name,
-            "start": self.start,
-            "end": self.end,
-            "duration": self.duration,
-            "status": self.status,
-        }
+        # A still-open span has no defensible duration: exporting 0.0
+        # would claim the operation was free. Open spans are marked
+        # explicitly (end/duration null, status "open") so consumers can
+        # tell "unfinished" from "instant".
+        if self.end is None:
+            out = {
+                "name": self.name,
+                "start": self.start,
+                "end": None,
+                "duration": None,
+                "status": Span.OPEN,
+            }
+        else:
+            out = {
+                "name": self.name,
+                "start": self.start,
+                "end": self.end,
+                "duration": self.duration,
+                "status": self.status,
+            }
         if self.attributes:
             out["attributes"] = dict(self.attributes)
         if self.error is not None:
@@ -94,7 +109,13 @@ class Span:
         span = cls(data["name"], data.get("attributes"),
                    start=data.get("start", 0.0))
         span.end = data.get("end")
-        span.status = data.get("status", cls.OK)
+        status = data.get("status", cls.OK)
+        if status == cls.OPEN:
+            # "open" is an export artifact, not a live status: the
+            # rebuilt span keeps end=None (so it re-exports as open) and
+            # derives its live status from whether an error was recorded.
+            status = cls.ERROR if data.get("error") is not None else cls.OK
+        span.status = status
         span.error = data.get("error")
         span.events = [
             {
@@ -185,8 +206,25 @@ class Tracer:
         return totals
 
     def to_dict(self):
-        """The JSON trace tree (a forest of finished root spans)."""
+        """The JSON trace tree (a forest of root spans).
+
+        Spans still open at export time are marked ``status: "open"``
+        with ``end``/``duration`` null — see :meth:`Span.to_dict`.
+        """
         return {"spans": [root.to_dict() for root in self.roots]}
+
+    @classmethod
+    def from_dict(cls, data, clock=None):
+        """Rebuild a tracer from :meth:`to_dict` output (JSON round-trip).
+
+        The rebuilt tracer is read-only in spirit — its roots replay the
+        exported forest (including open spans) losslessly, so
+        ``Tracer.from_dict(t.to_dict()).to_dict() == t.to_dict()``.
+        """
+        tracer = cls(clock=clock)
+        tracer.roots = [Span.from_dict(span)
+                        for span in data.get("spans", ())]
+        return tracer
 
     def reset(self):
         self.roots = []

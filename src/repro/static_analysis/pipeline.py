@@ -47,6 +47,7 @@ from repro.exec import (
     BACKEND_PROCESS,
     ClassFactsCache,
     ExecConfig,
+    chain_results,
     make_pool,
     simulate_schedule,
 )
@@ -361,7 +362,7 @@ class StaticAnalysisPipeline:
 
     def __init__(self, corpus, options=None, labeler=None, obs=None,
                  exec_config=None, cache=None, snapshot_date=None,
-                 checkpoint=None):
+                 checkpoint=None, progress_hook=None):
         self.corpus = corpus
         self.options = options or PipelineOptions()
         self.labeler = labeler or SdkLabeler(corpus.catalog)
@@ -379,6 +380,13 @@ class StaticAnalysisPipeline:
         #: Optional per-outcome callable (completion order), used by the
         #: longitudinal engine to persist checkpoints mid-run.
         self.checkpoint = checkpoint
+        #: Optional per-outcome callable (completion order) streaming
+        #: live progress, e.g. a :class:`repro.obs.ProgressReporter`.
+        self.progress_hook = progress_hook
+        #: The latest run's "execute" span, kept so process-backend
+        #: worker spans replay under the right parent (see
+        #: :meth:`_replay_worker_spans`).
+        self._execute_span = None
         if cache is None:
             cache = getattr(corpus, "analysis_cache", None)
         self.cache = cache if cache is not None else AnalysisCache()
@@ -562,12 +570,19 @@ class StaticAnalysisPipeline:
         )
         with self.obs.span("execute", backend=pool.name,
                            workers=self.exec_config.max_workers,
-                           tasks=len(tasks)):
+                           tasks=len(tasks)) as execute_span:
+            # Remembered so process-backend worker spans replay *under*
+            # this span during aggregation (it is closed by then) — the
+            # trace tree keeps the same shape as the inline backend's.
+            self._execute_span = execute_span
             if pool.name == BACKEND_PROCESS:
                 fn = functools.partial(_run_analysis_task, settings)
             else:
                 fn = functools.partial(self._inline_task, settings)
-            return pool.map(tasks, fn, on_result=self.checkpoint)
+            if hasattr(self.progress_hook, "begin"):
+                self.progress_hook.begin(len(tasks))
+            on_result = chain_results(self.checkpoint, self.progress_hook)
+            return pool.map(tasks, fn, on_result=on_result)
 
     def _inline_task(self, settings, task):
         """In-process execution path: trace into the study tracer."""
@@ -620,13 +635,19 @@ class StaticAnalysisPipeline:
                                             outcome.message))
 
     def _replay_worker_spans(self, outcome):
-        """Attach a worker's exported span tree to the study tracer."""
+        """Attach a worker's exported span tree to the study tracer.
+
+        Replayed trees hang off the (already closed) "execute" span, the
+        same parent the inline backend records under, so the trace — and
+        every flamegraph folded from it — has one shape per run
+        regardless of backend.
+        """
         tracer = self.obs.tracer
         for data in outcome.spans:
             root = Span.from_dict(data)
             if outcome.worker is not None:
                 root.set_attribute("worker", "w%d" % outcome.worker)
-            parent = tracer.current()
+            parent = self._execute_span or tracer.current()
             if parent is not None:
                 parent.children.append(root)
             else:

@@ -50,6 +50,17 @@ def sha256_hex(data):
     return hashlib.sha256(data).hexdigest()
 
 
+def fingerprint_token(fingerprint):
+    """Compact digest of an options/cache-key tuple, usable in filenames.
+
+    Shared by the longitudinal RunStore (outcome filenames) and the
+    telemetry store (run keys), so the same options always map to the
+    same token everywhere.
+    """
+    material = repr(tuple(fingerprint)).encode("utf-8")
+    return sha256_hex(material)[:8]
+
+
 def weighted_choice(rng, weighted_items):
     """Pick one key from ``{item: weight}`` using ``rng``.
 

@@ -119,3 +119,26 @@ class TestContextBinding:
         (record,) = records
         assert record.repro_event == "download"
         assert record.repro_fields == {"package": "com.app", "size": 9}
+
+
+class TestEnvLevelValidation:
+    def test_bad_env_level_names_the_variable(self, monkeypatch):
+        # A typo'd REPRO_LOG_LEVEL must fail loudly, and the error has
+        # to say which environment variable carried the bad value.
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "vrebose")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_level()
+        message = str(excinfo.value)
+        assert LOG_LEVEL_ENV_VAR in message
+        assert "vrebose" in message
+
+    def test_bad_explicit_level_does_not_blame_env(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV_VAR, raising=False)
+        with pytest.raises(ValueError) as excinfo:
+            resolve_level("vrebose")
+        assert LOG_LEVEL_ENV_VAR not in str(excinfo.value)
+
+    def test_configure_propagates_env_error(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "loudest")
+        with pytest.raises(ValueError):
+            configure(stream=io.StringIO())

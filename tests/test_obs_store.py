@@ -1,0 +1,345 @@
+"""Tests for the persistent telemetry store (repro.obs.store).
+
+The store's contracts: append-only run history keyed by (kind, corpus,
+options, git); lossless span/registry round-trips through SQLite;
+concurrent writer processes interleave safely under WAL; corrupt
+databases read as absent (the longitudinal RunStore convention) and
+failed writes degrade to warnings; the regression gate passes identical
+re-runs and flags injected slowdowns.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import DynamicStudy, StaticStudy
+from repro.corpus import CorpusConfig, evolve_corpus, generate_corpus
+from repro.longitudinal import IncrementalRunner, RunStore
+from repro.obs import (
+    DROPS_METRIC,
+    APPS_LISTED_METRIC,
+    Obs,
+    STAGE_CALLS_METRIC,
+    STAGE_SECONDS_METRIC,
+)
+from repro.obs import perf
+from repro.obs.store import (
+    OBS_DB_ENV_VAR,
+    TelemetryStore,
+    check_latest,
+    env_db_path,
+    main,
+)
+
+
+def sample_obs():
+    """An Obs bundle with a small but real span forest + metrics."""
+    obs = Obs()
+    with obs.span("run"):
+        with obs.span("list"):
+            pass
+        with obs.span("execute"):
+            with obs.span("analyze_app", package="com.a"):
+                pass
+            with obs.span("analyze_app", package="com.b"):
+                pass
+    return obs
+
+
+def record_synthetic(store, analyze_latency, kind="static", calls=10,
+                     corpus="cafecafe", options="0ff1ce00"):
+    """Record a run whose analyze_app mean latency is ``analyze_latency``."""
+    obs = sample_obs()
+    seconds = obs.registry.counter(STAGE_SECONDS_METRIC, "", ("stage",))
+    count = obs.registry.counter(STAGE_CALLS_METRIC, "", ("stage",))
+    seconds.labels(stage="analyze_app").inc(analyze_latency * calls)
+    count.labels(stage="analyze_app").inc(calls)
+    return store.record_run(obs, kind, corpus=corpus, options=options,
+                            git="deadbeef", items=calls)
+
+
+class TestStoreBasics:
+    def test_requires_path(self):
+        with pytest.raises(ValueError) as err:
+            TelemetryStore("")
+        assert OBS_DB_ENV_VAR in str(err.value)
+
+    def test_record_and_list(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        run_id = store.record_run(sample_obs(), "static", corpus="abc",
+                                  options="def", git="g1", items=2)
+        assert run_id == "static-000001"
+        runs = store.list_runs()
+        assert [r["run_id"] for r in runs] == [run_id]
+        meta = runs[0]
+        assert meta["kind"] == "static"
+        assert meta["corpus"] == "abc"
+        assert meta["options"] == "def"
+        assert meta["git"] == "g1"
+        assert meta["items"] == 2
+        assert meta["elapsed"] > 0
+
+    def test_span_forest_round_trips(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        obs = sample_obs()
+        run_id = store.record_run(obs, "static")
+        loaded = store.load_spans(run_id)
+        assert [root.to_dict() for root in loaded] == [
+            root.to_dict() for root in obs.tracer.roots
+        ]
+        # Analyses over the stored forest match the live one.
+        assert perf.flamegraph(loaded) == perf.flamegraph(obs.tracer.roots)
+
+    def test_registry_round_trips(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        obs = sample_obs()
+        run_id = store.record_run(obs, "static")
+        assert store.load_registry(run_id).as_dict() == obs.registry.as_dict()
+
+    def test_bench_payloads(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        payload = {"benchmark": "x", "speedup": 2.5}
+        run_id = store.record_bench("x", payload)
+        assert run_id == "bench-000001"
+        assert store.load_bench(run_id) == {"x": payload}
+        assert store.list_runs(kind="bench")[0]["label"] == "x"
+
+    def test_append_only_ids_are_monotonic(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        ids = [store.record_run(sample_obs(), "static") for _ in range(3)]
+        assert ids == ["static-000001", "static-000002", "static-000003"]
+        assert store.last_runs("static", limit=2) == ids[:0:-1]
+
+
+class TestEnvValidation:
+    def test_unset_means_no_store(self, monkeypatch):
+        monkeypatch.delenv(OBS_DB_ENV_VAR, raising=False)
+        assert env_db_path() is None
+        assert TelemetryStore.from_env() is None
+
+    def test_blank_means_no_store(self, monkeypatch):
+        monkeypatch.setenv(OBS_DB_ENV_VAR, "   ")
+        assert TelemetryStore.from_env() is None
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "sub" / "t.db"
+        monkeypatch.setenv(OBS_DB_ENV_VAR, str(path))
+        store = TelemetryStore.from_env()
+        assert store is not None
+        assert store.record_run(sample_obs(), "static") is not None
+        assert path.exists()
+
+    def test_directory_path_rejected_with_suggestion(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(OBS_DB_ENV_VAR, str(tmp_path))
+        with pytest.raises(ValueError) as err:
+            env_db_path()
+        message = str(err.value)
+        assert OBS_DB_ENV_VAR in message
+        assert "telemetry.db" in message
+
+    def test_uncreatable_parent_rejected(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        monkeypatch.setenv(OBS_DB_ENV_VAR, str(blocker / "t.db"))
+        with pytest.raises(ValueError) as err:
+            env_db_path()
+        assert OBS_DB_ENV_VAR in str(err.value)
+
+
+class TestStudyPersistence:
+    def test_static_study_records(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        study = StaticStudy(universe_size=2000, seed=7, telemetry=store)
+        study.run()
+        (run,) = store.list_runs(kind="static")
+        assert run["items"] == study.result.analyzed
+        assert run["corpus"] == study.corpus.fingerprint()
+        roots = store.load_spans(run["run_id"])
+        # Corpus generation traces into the same bundle; the study
+        # run itself is the last root.
+        assert roots[-1].name == "run"
+
+    def test_dynamic_study_records(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        study = DynamicStudy(seed=7, site_count=4, telemetry=store)
+        study.crawl_top_sites()
+        (run,) = store.list_runs(kind="dynamic")
+        assert run["items"] > 0
+        roots = store.load_spans(run["run_id"])
+        assert [r.name for r in roots] == ["crawl"]
+
+    def test_longitudinal_manifest_points_at_telemetry(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        corpus = generate_corpus(CorpusConfig(universe_size=2000, seed=9))
+        timeline = evolve_corpus(corpus, ("2023-04-13",))
+        runner = IncrementalRunner(
+            timeline.corpus, run_store=RunStore(str(tmp_path / "runs")),
+            telemetry=store,
+        )
+        run = runner.run_snapshot(timeline.dates[0])
+        (recorded,) = store.list_runs(kind="longitudinal")
+        assert run.manifest["telemetry_run"] == recorded["run_id"]
+        assert recorded["label"] == timeline.dates[0].isoformat()
+
+
+class TestRegressionGate:
+    def test_identical_reruns_pass(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        for _ in range(3):
+            record_synthetic(store, analyze_latency=1.0)
+        latest, findings, breaches = check_latest(store, "static")
+        assert latest["run_id"] == "static-000003"
+        assert findings
+        assert breaches == []
+
+    def test_injected_regression_detected(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        for _ in range(3):
+            record_synthetic(store, analyze_latency=1.0)
+        record_synthetic(store, analyze_latency=2.0)
+        _, _, breaches = check_latest(store, "static")
+        assert any(f.metric == "stage:analyze_app" for f in breaches)
+
+    def test_different_corpus_is_never_compared(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        record_synthetic(store, analyze_latency=1.0, corpus="aaaa")
+        record_synthetic(store, analyze_latency=9.0, corpus="bbbb")
+        latest, findings, breaches = check_latest(store, "static")
+        assert latest["corpus"] == "bbbb"
+        assert findings == []
+        assert breaches == []
+
+    def test_empty_store_passes(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        assert check_latest(store, "static") == (None, [], [])
+
+    def test_drop_rate_regression(self, tmp_path):
+        store = TelemetryStore(str(tmp_path / "t.db"))
+        for drops in (0, 0, 0, 50):
+            obs = sample_obs()
+            obs.registry.counter(APPS_LISTED_METRIC, "").inc(1000)
+            if drops:
+                obs.registry.counter(
+                    DROPS_METRIC, "", ("reason",)
+                ).labels(reason="broken_apk").inc(drops)
+            store.record_run(obs, "static", corpus="c", options="o")
+        _, _, breaches = check_latest(store, "static")
+        assert any(f.metric == "drop_rate" for f in breaches)
+
+
+class TestCli:
+    def test_list_empty(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        assert main(["--db", db, "list"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show_unknown_run(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        assert main(["--db", db, "show", "static-000099"]) == 1
+
+    def test_show_known_run(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        run_id = record_synthetic(TelemetryStore(db), 1.0)
+        assert main(["--db", db, "show", run_id]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "analyze_app" in out
+
+    def test_check_exit_codes(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        store = TelemetryStore(db)
+        for _ in range(3):
+            record_synthetic(store, analyze_latency=1.0)
+        assert main(["--db", db, "check", "--kind", "static"]) == 0
+        record_synthetic(store, analyze_latency=2.0)
+        assert main(["--db", db, "check", "--kind", "static"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_check_without_runs_passes(self, tmp_path, capsys):
+        assert main(["--db", str(tmp_path / "t.db"), "check"]) == 0
+
+    def test_flamegraph_to_file(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        store = TelemetryStore(db)
+        run_id = store.record_run(sample_obs(), "static")
+        out_path = tmp_path / "run.folded"
+        assert main(["--db", db, "flamegraph", "--out", str(out_path)]) == 0
+        folded = out_path.read_text()
+        assert folded == perf.flamegraph(store.load_spans(run_id))
+        assert "run;execute;analyze_app" in folded
+
+    def test_no_db_anywhere_exits(self, monkeypatch):
+        monkeypatch.delenv(OBS_DB_ENV_VAR, raising=False)
+        with pytest.raises(SystemExit):
+            main(["list"])
+
+
+class TestConcurrency:
+    def test_two_processes_interleave(self, tmp_path):
+        """Two writer processes, one WAL database, no lost runs."""
+        db = str(tmp_path / "t.db")
+        TelemetryStore(db)  # settle the schema before racing
+        script = (
+            "import sys\n"
+            "from repro.obs.store import TelemetryStore\n"
+            "sys.path.insert(0, %r)\n"
+            "from test_obs_store import sample_obs\n"
+            "store = TelemetryStore(%r)\n"
+            "for _ in range(5):\n"
+            "    assert store.record_run(sample_obs(), 'static') is not None\n"
+        ) % (os.path.dirname(os.path.abspath(__file__)), db)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script], env=env,
+                             stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for _ in range(2)
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+        runs = TelemetryStore(db).list_runs(kind="static")
+        ids = [r["run_id"] for r in runs]
+        assert len(ids) == 10
+        assert len(set(ids)) == 10
+
+
+class TestCorruption:
+    def test_corrupt_database_reads_as_absent(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        store = TelemetryStore(db)
+        store.record_run(sample_obs(), "static")
+        with open(db, "wb") as handle:
+            handle.write(b"this is not a sqlite file")
+        assert store.list_runs() == []
+        assert store.get_run("static-000001") is None
+        assert store.load_spans("static-000001") == []
+        assert store.load_registry("static-000001") is None
+
+    def test_corrupt_database_write_degrades_to_warning(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        store = TelemetryStore(db)
+        with open(db, "wb") as handle:
+            handle.write(b"garbage" * 100)
+        assert store.record_run(sample_obs(), "static") is None
+        assert store.record_bench("x", {"a": 1}) is None
+
+    def test_schema_version_mismatch_is_loud(self, tmp_path):
+        import sqlite3
+
+        db = str(tmp_path / "t.db")
+        TelemetryStore(db)
+        conn = sqlite3.connect(db)
+        with conn:
+            conn.execute("UPDATE schema_info SET version = 99")
+        conn.close()
+        with pytest.raises(ValueError) as err:
+            TelemetryStore(db)
+        assert "schema version" in str(err.value)

@@ -148,3 +148,63 @@ class TestObsBundle:
                 raise RuntimeError("x")
         assert obs.registry.value("repro_stage_errors_total",
                                   stage="explode") == 1
+
+
+class TestOpenSpanExport:
+    def test_open_span_exports_with_null_end(self):
+        # Live progress snapshots export the trace while spans are still
+        # running; an open span must say so instead of faking an end.
+        tracer = Tracer(clock=TickClock(step=1.0))
+        with tracer.span("run"):
+            with tracer.span("analyze_app"):
+                exported = tracer.to_dict()
+        (run,) = exported["spans"]
+        assert run["end"] is None
+        assert run["duration"] is None
+        assert run["status"] == "open"
+        (analyze,) = run["children"]
+        assert analyze["end"] is None
+        assert analyze["status"] == "open"
+
+    def test_open_span_dict_roundtrip(self):
+        from repro.obs.tracing import Span
+
+        tracer = Tracer(clock=TickClock(step=1.0))
+        with tracer.span("run"):
+            exported = tracer.roots[0].to_dict()
+        rebuilt = Span.from_dict(exported)
+        assert rebuilt.to_dict() == exported
+        assert rebuilt.end is None
+        assert rebuilt.duration == 0.0  # still-open spans measure as zero
+
+    def test_tracer_round_trip_is_lossless(self):
+        # Seeded random forests with attributes, events, error spans and
+        # a still-open tail span: from_dict(to_dict()) must be identity.
+        import random
+
+        for seed in range(5):
+            rng = random.Random(seed)
+            tracer = Tracer(clock=TickClock(step=0.5))
+
+            def build(depth):
+                for _ in range(rng.randint(1, 3)):
+                    attrs = {}
+                    if rng.random() < 0.5:
+                        attrs["worker"] = rng.randint(0, 3)
+                    try:
+                        with tracer.span("s%d" % rng.randint(0, 4),
+                                         **attrs) as span:
+                            if rng.random() < 0.4:
+                                span.add_event("evt", value=rng.random())
+                            if depth < 2 and rng.random() < 0.6:
+                                build(depth + 1)
+                            if rng.random() < 0.2:
+                                raise RuntimeError("boom")
+                    except RuntimeError:
+                        pass
+
+            build(0)
+            with tracer.span("open_tail"):
+                exported = tracer.to_dict()
+            rebuilt = Tracer.from_dict(exported)
+            assert rebuilt.to_dict() == exported
