@@ -1,0 +1,243 @@
+"""Benchmark of the results-store serving layer.
+
+Not a paper table — this tracks what :mod:`repro.results` actually
+serves: a small static study and a crawl are ingested into a results DB,
+then N concurrent reader threads (>=4) replay the paper's query mix —
+SDK league tables, the adoption trend, per-app nutrition labels,
+endpoint summaries and the registrable-domain census — against a
+:class:`~repro.results.serve.ResultsService`, cold-cache and warm-cache.
+The summary records p50/p99 per-query latency and aggregate QPS for
+both passes.
+
+Correctness rides along: every served answer is asserted equal to the
+in-memory aggregation (Aggregator, nutrition labels, Figure 6 summary)
+before any latency is measured — a fast wrong answer is not a result.
+
+Scale is overridable for CI smoke runs via ``REPRO_BENCH_UNIVERSE``,
+``REPRO_BENCH_SITES`` and ``REPRO_BENCH_SERVING_ROUNDS``; the JSON
+summary lands in ``BENCH_serving.json`` (override with
+``REPRO_BENCH_JSON``).
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from _emit import bench_json_fixture
+from repro.core import DynamicStudy, StaticStudy
+from repro.results.serve import ResultsService
+from repro.results.store import ResultsStore
+from repro.static_analysis.nutrition import build_label
+from repro.static_analysis.report import Aggregator
+
+UNIVERSE_ENV_VAR = "REPRO_BENCH_UNIVERSE"
+UNIVERSE_DEFAULT = 2000
+SITES_ENV_VAR = "REPRO_BENCH_SITES"
+SITES_DEFAULT = 20
+ROUNDS_ENV_VAR = "REPRO_BENCH_SERVING_ROUNDS"
+ROUNDS_DEFAULT = 8
+
+#: Concurrent reader threads driving the service (the acceptance bar
+#: requires at least 4).
+READER_THREADS = 4
+
+#: Nutrition labels queried per round (distinct packages).
+LABEL_QUERIES = 16
+
+
+def _env_int(name, default):
+    raw = os.environ.get(name)
+    try:
+        value = int(raw) if raw else 0
+    except ValueError:
+        value = 0
+    return value if value > 0 else default
+
+
+def _universe():
+    return _env_int(UNIVERSE_ENV_VAR, UNIVERSE_DEFAULT)
+
+
+def _site_count():
+    return _env_int(SITES_ENV_VAR, SITES_DEFAULT)
+
+
+def _rounds():
+    return _env_int(ROUNDS_ENV_VAR, ROUNDS_DEFAULT)
+
+
+# The machine-readable summary lands in BENCH_serving.json (override
+# with REPRO_BENCH_JSON); see benchmarks/_emit.py for the shared schema.
+bench_json = bench_json_fixture(
+    "serving", universe=_universe, site_count=_site_count,
+    reader_threads=READER_THREADS,
+)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A results DB populated by one static study and one crawl."""
+    db = str(tmp_path_factory.mktemp("serving") / "results.db")
+    store = ResultsStore(db)
+    static = StaticStudy(universe_size=_universe(), seed=5,
+                         results_store=store)
+    static.run()
+    dynamic = DynamicStudy(seed=20230113, site_count=_site_count(),
+                           results_store=store)
+    crawl = dynamic.crawl_top_sites()
+    dynamic.measure_iabs()
+    return store, static, crawl
+
+
+def _workload(service, static, crawl):
+    """The query mix, as zero-arg thunks (the paper's questions)."""
+    packages = [a.package for a in static.result.successful()]
+    apps = sorted({v.app.name for v in crawl.visits})
+    thunks = [
+        lambda: service.sdk_league(mechanism="webview"),
+        lambda: service.sdk_league(mechanism="customtabs"),
+        lambda: service.adoption_trend(),
+        lambda: service.endpoint_census(),
+        lambda: service.funnel(),
+    ]
+    for package in packages[:LABEL_QUERIES]:
+        thunks.append(
+            lambda package=package: service.nutrition_label(package)
+        )
+    for name in apps:
+        thunks.append(lambda name=name: service.endpoint_summary(name))
+    return thunks
+
+
+def _percentile(latencies, share):
+    ordered = sorted(latencies)
+    index = int(share * (len(ordered) - 1))
+    return ordered[index]
+
+
+def _drive_readers(workload, threads, rounds):
+    """Replay the workload from N threads; returns (latencies, wall)."""
+    per_thread = [[] for _ in range(threads)]
+    barrier = threading.Barrier(threads + 1)
+
+    def reader(latencies):
+        barrier.wait()
+        for _ in range(rounds):
+            for thunk in workload:
+                start = time.perf_counter()
+                thunk()
+                latencies.append(time.perf_counter() - start)
+
+    workers = [
+        threading.Thread(target=reader, args=(latencies,))
+        for latencies in per_thread
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - wall_start
+    return [value for bucket in per_thread for value in bucket], wall
+
+
+def _measured(workload, threads, rounds):
+    latencies, wall = _drive_readers(workload, threads, rounds)
+    return {
+        "queries": len(latencies),
+        "p50_ms": round(1000 * _percentile(latencies, 0.50), 4),
+        "p99_ms": round(1000 * _percentile(latencies, 0.99), 4),
+        "qps": round(len(latencies) / wall, 1),
+    }
+
+
+def test_served_answers_match_in_memory(served, bench_json):
+    """Every served answer equals the in-memory aggregation."""
+    store, static, crawl = served
+    service = ResultsService(store)
+    result = static.result
+    aggregator = Aggregator(result)
+
+    assert service.sdk_league(mechanism="webview") == sorted(
+        aggregator.sdk_webview_apps.items(),
+        key=lambda kv: (-kv[1], kv[0]),
+    )
+    assert service.sdk_league(mechanism="customtabs") == sorted(
+        aggregator.sdk_ct_apps.items(), key=lambda kv: (-kv[1], kv[0]),
+    )
+
+    trend = service.adoption_trend()
+    assert len(trend) == 1
+    assert trend[0]["analyzed"] == result.analyzed
+    assert trend[0]["webview_share"] == (
+        100.0 * len(result.webview_apps()) / (result.analyzed or 1)
+    )
+
+    labels_checked = 0
+    for analysis in result.successful()[:LABEL_QUERIES]:
+        expected = build_label(
+            analysis, analysis.label_sdks(result.labeler)
+        )
+        label = service.nutrition_label(analysis.package)
+        assert label.grade == expected.grade
+        assert label.disclosure_lines() == expected.disclosure_lines()
+        labels_checked += 1
+
+    apps = sorted({v.app.name for v in crawl.visits})
+    for name in apps:
+        assert service.endpoint_summary(name) == (
+            crawl.endpoint_summary(name)
+        )
+    assert service.funnel() == result.funnel_dict()
+
+    print()
+    print("equivalence: league + trend + %d labels + %d endpoint "
+          "summaries + funnel all byte-equal" % (labels_checked,
+                                                 len(apps)))
+    bench_json["equivalence"] = {
+        "labels_checked": labels_checked,
+        "endpoint_summaries_checked": len(apps),
+    }
+
+
+def test_concurrent_reader_latency(served, bench_json):
+    """p50/p99 latency and QPS at N reader threads, cold vs warm."""
+    store, static, crawl = served
+    rounds = _rounds()
+
+    # cache_size=0 retains nothing: every query runs the SQL path.
+    cold_service = ResultsService(store, cache_size=0)
+    cold = _measured(_workload(cold_service, static, crawl),
+                     READER_THREADS, rounds)
+
+    warm_service = ResultsService(store)
+    warm_workload = _workload(warm_service, static, crawl)
+    for thunk in warm_workload:  # prime every cache entry once
+        thunk()
+    warm_service.hits = warm_service.misses = 0
+    warm = _measured(warm_workload, READER_THREADS, rounds)
+    total = warm_service.hits + warm_service.misses
+    warm["cache_hit_rate"] = round(
+        warm_service.hits / total if total else 0.0, 4
+    )
+
+    print()
+    print("cold cache: p50 %.3fms p99 %.3fms, %.0f qps (%d queries, "
+          "%d threads)" % (cold["p50_ms"], cold["p99_ms"], cold["qps"],
+                           cold["queries"], READER_THREADS))
+    print("warm cache: p50 %.3fms p99 %.3fms, %.0f qps (hit rate "
+          "%.1f%%)" % (warm["p50_ms"], warm["p99_ms"], warm["qps"],
+                       100 * warm["cache_hit_rate"]))
+
+    bench_json["rounds"] = rounds
+    bench_json["cold"] = cold
+    bench_json["warm"] = warm
+
+    assert READER_THREADS >= 4
+    assert cold["queries"] == warm["queries"] > 0
+    # A primed generation-keyed cache serves dictionary lookups.
+    assert warm["cache_hit_rate"] >= 0.99
+    assert warm["p50_ms"] <= cold["p50_ms"]

@@ -12,6 +12,7 @@ from repro.obs import Obs
 from repro.obs.progress import ProgressReporter, progress_enabled
 from repro.obs.store import TelemetryStore
 from repro.reporting import Table
+from repro.results.store import ResultsStore
 from repro.static_analysis.pipeline import (
     PipelineOptions,
     StaticAnalysisPipeline,
@@ -42,7 +43,8 @@ class StaticStudy:
 
     def __init__(self, universe_size=20_000, seed=DEFAULT_SEED, corpus=None,
                  options=None, obs=None, max_workers=None, chunk_size=None,
-                 exec_backend=None, telemetry=None, progress_hook=None):
+                 exec_backend=None, telemetry=None, results_store=None,
+                 progress_hook=None):
         #: Per-study observability bundle (registry + tracer + clock).
         self.obs = obs if obs is not None else Obs()
         if corpus is None:
@@ -58,6 +60,9 @@ class StaticStudy:
         #: Run-history sink; defaults to ``REPRO_OBS_DB`` when set.
         self.telemetry = (telemetry if telemetry is not None
                           else TelemetryStore.from_env())
+        #: Queryable results sink; defaults to ``REPRO_RESULTS_DB``.
+        self.results_store = (results_store if results_store is not None
+                              else ResultsStore.from_env())
         self.progress_hook = _default_progress(progress_hook, "static")
         self.pipeline = StaticAnalysisPipeline(
             corpus, options=self.options, obs=self.obs,
@@ -77,6 +82,13 @@ class StaticStudy:
                 corpus=self.corpus.fingerprint(),
                 options=fingerprint_token(self.options.cache_key()),
                 items=self.result.analyzed, root_span="run",
+            )
+        if self.results_store is not None:
+            self.results_store.ingest(
+                self.result,
+                corpus=self.corpus.fingerprint(),
+                options=fingerprint_token(self.options.cache_key()),
+                snapshot=str(self.corpus.config.snapshot_date),
             )
         return self.result
 
@@ -149,11 +161,14 @@ class DynamicStudy:
     def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000,
                  obs=None, max_workers=None, chunk_size=None,
                  exec_backend=None, script_cache=None, telemetry=None,
-                 progress_hook=None):
+                 results_store=None, progress_hook=None):
         self.seed = seed
         self.obs = obs if obs is not None else Obs()
         self.telemetry = (telemetry if telemetry is not None
                           else TelemetryStore.from_env())
+        #: Queryable results sink; defaults to ``REPRO_RESULTS_DB``.
+        self.results_store = (results_store if results_store is not None
+                              else ResultsStore.from_env())
         self.progress_hook = _default_progress(progress_hook, "crawl")
         self.sites = top_sites(site_count)
         self.manual_study = ManualStudy(total_apps=total_apps, seed=seed)
@@ -191,6 +206,13 @@ class DynamicStudy:
     def measure_iabs(self):
         if self._measurements is None:
             self._measurements = self.harness.run()
+            if self.results_store is not None:
+                self.results_store.ingest_webapi(
+                    self._measurements,
+                    corpus=fingerprint_token(("iab", self.seed)),
+                    options="",
+                    snapshot="seed-%d" % self.seed,
+                )
         return self._measurements
 
     def table8(self):
@@ -255,6 +277,17 @@ class DynamicStudy:
                         ("script_cache", self.exec_config.script_cache)
                     ),
                     items=len(self._crawl.visits), root_span="crawl",
+                )
+            if self.results_store is not None:
+                self.results_store.ingest(
+                    self._crawl,
+                    corpus=fingerprint_token(
+                        ("crawl", self.seed, len(self.sites))
+                    ),
+                    options=fingerprint_token(
+                        ("script_cache", self.exec_config.script_cache)
+                    ),
+                    snapshot="seed-%d" % self.seed,
                 )
         return self._crawl
 

@@ -97,8 +97,9 @@ class IncrementalRunner:
 
     def __init__(self, corpus, run_store=None, options=None, labeler=None,
                  obs=None, exec_config=None, checkpoint_every=25,
-                 telemetry=None, progress_hook=None):
+                 telemetry=None, results_store=None, progress_hook=None):
         from repro.obs.store import TelemetryStore
+        from repro.results.store import ResultsStore
 
         self.corpus = corpus
         self.store = run_store if run_store is not None else RunStore()
@@ -113,6 +114,12 @@ class IncrementalRunner:
         #: telemetry run via ``telemetry_run``.
         self.telemetry = (telemetry if telemetry is not None
                           else TelemetryStore.from_env())
+        #: Queryable results sink; defaults to ``REPRO_RESULTS_DB``.
+        #: Snapshot ingests are keyed by (corpus, options, date), so a
+        #: timeline's runs *append* snapshot rows — re-running a date is
+        #: an idempotent no-op in the store.
+        self.results_store = (results_store if results_store is not None
+                              else ResultsStore.from_env())
         self.progress_hook = progress_hook
         #: Store namespace: universe identity x options fingerprint.
         self.context = "%s-%s" % (
@@ -181,6 +188,13 @@ class IncrementalRunner:
                 corpus=self.corpus.fingerprint(),
                 options=options_token(fingerprint),
                 items=result.analyzed, root_span="run",
+            )
+        if self.results_store is not None:
+            self.results_store.ingest(
+                result,
+                corpus=self.corpus.fingerprint(),
+                options=options_token(fingerprint),
+                snapshot=date.isoformat(),
             )
         manifest = handle.finalize(
             snapshot_date=date.isoformat(),

@@ -38,7 +38,7 @@ class LongitudinalStudy:
                  dates=DEFAULT_SNAPSHOT_DATES, churn=None, run_store=None,
                  options=None, obs=None, max_workers=None, chunk_size=None,
                  exec_backend=None, checkpoint_every=25, telemetry=None,
-                 progress_hook=None):
+                 results_store=None, progress_hook=None):
         self.obs = obs if obs is not None else Obs()
         if corpus is None:
             corpus = generate_corpus(
@@ -58,6 +58,7 @@ class LongitudinalStudy:
                                    backend=exec_backend),
             checkpoint_every=checkpoint_every,
             telemetry=telemetry,
+            results_store=results_store,
             progress_hook=progress_hook,
         )
         #: Completed IncrementalRuns, in snapshot order.

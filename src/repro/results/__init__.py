@@ -1,0 +1,28 @@
+"""Queryable results store and serving layer.
+
+The paper's headline artifacts — SDK league tables, adoption trends,
+per-app nutrition labels, endpoint censuses — are *queries*, but until
+this package every answer lived only inside an in-memory
+:class:`~repro.static_analysis.results.StudyResult` or
+:class:`~repro.dynamic.crawler.CrawlResult` and died with the process.
+:class:`ResultsStore` persists finished study outputs into a schema'd
+SQLite-WAL database keyed by (corpus fingerprint, options token,
+snapshot date) so longitudinal deltas append rather than rewrite, and
+:class:`ResultsService` answers the paper's questions from the store in
+milliseconds, with an LRU query cache invalidated by the store's
+generation counter.
+
+See DESIGN.md §14 and ``python -m repro.results --help``.
+"""
+
+from repro.results.store import (
+    RESULTS_DB_ENV_VAR,
+    ResultsStore,
+)
+from repro.results.serve import ResultsService
+
+__all__ = [
+    "RESULTS_DB_ENV_VAR",
+    "ResultsStore",
+    "ResultsService",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.results`` — query the persistent results store."""
+
+import sys
+
+from repro.results.serve import main
+
+if __name__ == "__main__":
+    sys.exit(main())

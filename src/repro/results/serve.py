@@ -1,0 +1,493 @@
+"""Read-optimized serving layer over the results store.
+
+:class:`ResultsService` answers the paper's questions — SDK league
+tables, adoption trends, per-app nutrition labels, endpoint censuses —
+from a :class:`~repro.results.store.ResultsStore` with prepared,
+parameterized queries. Design points:
+
+- **Byte-equal to the in-memory aggregation.** Every served answer is
+  asserted (in tests and ``benchmarks/bench_serving.py``) equal to what
+  :class:`~repro.static_analysis.report.Aggregator`,
+  :class:`~repro.longitudinal.trends.TrendSeries`,
+  :mod:`~repro.static_analysis.nutrition` and
+  :meth:`~repro.dynamic.crawler.CrawlResult.endpoint_summary` compute
+  from the live objects. Where SQL aggregate semantics could drift from
+  Python's (float means), the query fetches rows and the service
+  reduces them with exactly the in-memory arithmetic.
+- **Generation-keyed LRU cache.** Query answers are memoized under
+  ``(store generation, query, args)``; any new ingest bumps the
+  generation, implicitly invalidating every cached entry without a
+  coordination channel between writers and readers.
+- **Safe concurrent readers.** Each query opens a fresh SQLite
+  connection (WAL readers never block the writer) and the cache is
+  guarded by a lock, so one service instance can be shared across
+  reader threads — the serving benchmark drives it with N threads.
+
+The module doubles as the ``python -m repro.results`` CLI.
+"""
+
+import argparse
+import collections
+import json
+import sys
+import threading
+
+from repro.results.store import RESULTS_DB_ENV_VAR, ResultsStore
+
+#: Default bound on memoized query answers.
+DEFAULT_CACHE_SIZE = 256
+
+
+class ResultsService:
+    """Prepared queries + generation-keyed LRU cache over a store."""
+
+    def __init__(self, store, cache_size=DEFAULT_CACHE_SIZE):
+        self.store = store
+        self.cache_size = cache_size
+        self._cache = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls):
+        store = ResultsStore.from_env()
+        if store is None:
+            return None
+        return cls(store)
+
+    # -- cache ---------------------------------------------------------------
+
+    def _cached(self, key, compute):
+        """Memoize ``compute()`` under ``(generation,) + key``.
+
+        The generation read and the query itself are not atomic; the
+        worst case under a concurrent ingest is caching a *newer* answer
+        under an older generation key, which the next bump evicts — the
+        cache can serve stale-by-one reads during an ingest, never
+        wrong-forever ones.
+        """
+        full_key = (self.store.generation(),) + key
+        with self._lock:
+            if full_key in self._cache:
+                self._cache.move_to_end(full_key)
+                self.hits += 1
+                return self._cache[full_key]
+        value = compute()
+        with self._lock:
+            self.misses += 1
+            self._cache[full_key] = value
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return value
+
+    def cache_clear(self):
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def sdk_league(self, mechanism="webview", corpus=None, options=None,
+                   snapshot=None):
+        """SDK league table: ``[(sdk, apps embedding it)]``, ranked.
+
+        Byte-equal to ``sorted(aggregator.sdk_webview_apps.items(),
+        key=lambda kv: (-kv[1], kv[0]))`` for the matching study run
+        (``sdk_ct_apps`` for the ``customtabs`` mechanism).
+        """
+        key = ("sdk_league", mechanism, corpus, options, snapshot)
+        return self._cached(key, lambda: self._sdk_league(
+            mechanism, corpus, options, snapshot))
+
+    def _sdk_league(self, mechanism, corpus, options, snapshot):
+        seq = self.store.latest_seq("static", corpus, options, snapshot)
+        if seq is None:
+            return []
+        rows = self.store._query(
+            "SELECT sdk, COUNT(DISTINCT package) AS apps FROM sdk_labels"
+            " WHERE ingest_seq = ? AND mechanism = ?"
+            " GROUP BY sdk ORDER BY apps DESC, sdk ASC",
+            (seq, mechanism),
+        )
+        return [(sdk, apps) for sdk, apps in rows]
+
+    def adoption_trend(self, corpus=None, options=None):
+        """Per-snapshot adoption rates, oldest snapshot first.
+
+        Each row matches a
+        :class:`~repro.longitudinal.trends.SnapshotPoint`: analyzed
+        apps, WebView/CT/both app counts, and percentage shares computed
+        with the exact in-memory arithmetic (``100.0 * count /
+        (analyzed or 1)``).
+        """
+        key = ("adoption_trend", corpus, options)
+        return self._cached(key, lambda: self._adoption_trend(
+            corpus, options))
+
+    def _adoption_trend(self, corpus, options):
+        sql = (
+            "SELECT s.snapshot, s.items,"
+            " COALESCE(SUM(o.uses_webview), 0),"
+            " COALESCE(SUM(o.uses_customtabs), 0),"
+            " COALESCE(SUM(o.uses_webview * o.uses_customtabs), 0)"
+            " FROM snapshots s LEFT JOIN outcomes o"
+            " ON o.ingest_seq = s.seq AND o.failed = 0"
+            " WHERE s.kind = 'static'"
+        )
+        params = []
+        for column, value in (("corpus", corpus), ("options", options)):
+            if value is not None:
+                sql += " AND s.%s = ?" % column
+                params.append(value)
+        sql += " GROUP BY s.seq ORDER BY s.snapshot, s.seq"
+        trend = []
+        for snapshot, analyzed, webview, ct, both in self.store._query(
+                sql, tuple(params)):
+            total = analyzed or 1
+            trend.append({
+                "snapshot": snapshot,
+                "analyzed": analyzed,
+                "webview_apps": webview,
+                "ct_apps": ct,
+                "both_apps": both,
+                "webview_share": 100.0 * webview / total,
+                "ct_share": 100.0 * ct / total,
+                "both_share": 100.0 * both / total,
+            })
+        return trend
+
+    def nutrition_label(self, package, corpus=None, options=None,
+                        snapshot=None):
+        """One app's third-party-web-content label, served from rows.
+
+        Rebuilds a live
+        :class:`~repro.static_analysis.nutrition.NutritionLabel` from
+        the stored outcome + SDK label rows; its derived ``grade`` and
+        ``disclosure_lines()`` are byte-equal to labelling the in-memory
+        analysis. Returns None for an unknown or failed app.
+        """
+        key = ("nutrition_label", package, corpus, options, snapshot)
+        return self._cached(key, lambda: self._nutrition_label(
+            package, corpus, options, snapshot))
+
+    def _nutrition_label(self, package, corpus, options, snapshot):
+        from repro.sdk.catalog import SdkCategory
+        from repro.static_analysis.nutrition import (
+            SENSITIVE_TYPES,
+            NutritionLabel,
+        )
+
+        seq = self.store.latest_seq("static", corpus, options, snapshot)
+        if seq is None:
+            return None
+        rows = self.store._query(
+            "SELECT failed, uses_webview, uses_customtabs, grade,"
+            " exposes_js_bridge, can_inject_js, first_party_only"
+            " FROM outcomes WHERE ingest_seq = ? AND package = ?",
+            (seq, package),
+        )
+        if not rows or rows[0][0]:
+            return None
+        (_, uses_webview, uses_customtabs, grade, bridge, inject,
+         first_party) = rows[0]
+        label = NutritionLabel(package)
+        label.uses_webview = bool(uses_webview)
+        label.uses_customtabs = bool(uses_customtabs)
+        label.displays_web_content = (label.uses_webview
+                                      or label.uses_customtabs)
+        label.exposes_js_bridge = bool(bridge)
+        label.can_inject_js = bool(inject)
+        label.first_party_only = bool(first_party)
+        types = {"webview": [], "customtabs": []}
+        for mechanism, value in self.store._query(
+                "SELECT DISTINCT mechanism, sdk_category FROM sdk_labels"
+                " WHERE ingest_seq = ? AND package = ?", (seq, package)):
+            types[mechanism].append(SdkCategory(value))
+        label.webview_sdk_types = sorted(types["webview"],
+                                         key=lambda c: c.value)
+        label.ct_sdk_types = sorted(types["customtabs"],
+                                    key=lambda c: c.value)
+        label.sensitive_webview_types = [
+            c for c in label.webview_sdk_types if c in SENSITIVE_TYPES
+        ]
+        assert label.grade == grade, (
+            "stored grade %r disagrees with derived grade %r for %s"
+            % (grade, label.grade, package)
+        )
+        return label
+
+    def endpoint_summary(self, app, corpus=None, options=None,
+                         snapshot=None):
+        """Figure 6 data for one app, served from endpoint rows.
+
+        Returns the same ``(means, type_means)`` pair as
+        :meth:`CrawlResult.endpoint_summary` — per-site-category mean
+        app-specific endpoints, and per-category per-endpoint-type mean
+        counts — reduced in Python with the identical arithmetic.
+        """
+        key = ("endpoint_summary", app, corpus, options, snapshot)
+        return self._cached(key, lambda: self._endpoint_summary(
+            app, corpus, options, snapshot))
+
+    def _endpoint_summary(self, app, corpus, options, snapshot):
+        seq = self.store.latest_seq("crawl", corpus, options, snapshot)
+        if seq is None:
+            return {}, {}
+        per_category_counts = collections.defaultdict(list)
+        for _, category, specific in self.store._query(
+                "SELECT position, site_category, app_specific"
+                " FROM crawl_visits WHERE ingest_seq = ? AND app = ?"
+                " ORDER BY position", (seq, app)):
+            per_category_counts[category].append(specific)
+        per_category_types = collections.defaultdict(
+            lambda: collections.defaultdict(list))
+        for _, category, classification, hosts in self.store._query(
+                "SELECT v.position, v.site_category,"
+                " e.classification, COUNT(*)"
+                " FROM endpoints e JOIN crawl_visits v"
+                " ON v.ingest_seq = e.ingest_seq AND v.app = e.app"
+                " AND v.site = e.site"
+                " WHERE e.ingest_seq = ? AND e.app = ?"
+                " AND e.app_specific = 1"
+                " GROUP BY v.position, e.classification"
+                " ORDER BY v.position", (seq, app)):
+            per_category_types[category][classification].append(hosts)
+        means = {
+            category: sum(counts) / len(counts)
+            for category, counts in per_category_counts.items()
+        }
+        type_means = {
+            category: {
+                endpoint_type: sum(counts) / len(counts)
+                for endpoint_type, counts in types.items()
+            }
+            for category, types in per_category_types.items()
+        }
+        return means, type_means
+
+    def endpoint_census(self, app=None, app_specific_only=False,
+                        corpus=None, options=None, snapshot=None):
+        """Endpoint census by registrable domain, most-contacted first.
+
+        Rows: ``(registrable domain, classification, distinct apps,
+        visits, requests, cleartext hosts, credential-bearing hosts)``.
+        The registrable-domain keying relies on the IP-literal fix —
+        ``10.0.0.1`` and ``172.16.0.1`` are separate census rows, not a
+        merged ``0.1``.
+        """
+        key = ("endpoint_census", app, app_specific_only, corpus,
+               options, snapshot)
+        return self._cached(key, lambda: self._endpoint_census(
+            app, app_specific_only, corpus, options, snapshot))
+
+    def _endpoint_census(self, app, app_specific_only, corpus, options,
+                         snapshot):
+        seq = self.store.latest_seq("crawl", corpus, options, snapshot)
+        if seq is None:
+            return []
+        sql = (
+            "SELECT registrable_domain, classification,"
+            " COUNT(DISTINCT app) AS apps, COUNT(*) AS visits,"
+            " SUM(requests), SUM(cleartext), SUM(has_credentials)"
+            " FROM endpoints WHERE ingest_seq = ?"
+        )
+        params = [seq]
+        if app is not None:
+            sql += " AND app = ?"
+            params.append(app)
+        if app_specific_only:
+            sql += " AND app_specific = 1"
+        sql += (" GROUP BY registrable_domain, classification"
+                " ORDER BY apps DESC, visits DESC, registrable_domain")
+        return [tuple(row) for row in self.store._query(sql,
+                                                        tuple(params))]
+
+    def webapi_usage(self, corpus=None, options=None, snapshot=None):
+        """Web-API usage rows: ``[(app, interface, method, calls)]``."""
+        key = ("webapi_usage", corpus, options, snapshot)
+        return self._cached(key, lambda: self._webapi_usage(
+            corpus, options, snapshot))
+
+    def _webapi_usage(self, corpus, options, snapshot):
+        seq = self.store.latest_seq("webapi", corpus, options, snapshot)
+        if seq is None:
+            return []
+        return [tuple(row) for row in self.store._query(
+            "SELECT app, interface, method, calls FROM webapi_events"
+            " WHERE ingest_seq = ? ORDER BY app, interface, method",
+            (seq,),
+        )]
+
+    def funnel(self, corpus=None, options=None, snapshot=None):
+        """The latest static ingest's Table 2 funnel dict."""
+        key = ("funnel", corpus, options, snapshot)
+
+        def compute():
+            seq = self.store.latest_seq("static", corpus, options,
+                                        snapshot)
+            return {} if seq is None else self.store.funnel(seq)
+
+        return self._cached(key, compute)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _open_service(args):
+    if args.db:
+        return ResultsService(ResultsStore(args.db))
+    service = ResultsService.from_env()
+    if service is None:
+        raise SystemExit(
+            "no results database: set %s or pass --db" % RESULTS_DB_ENV_VAR
+        )
+    return service
+
+
+def _cmd_snapshots(service, args):
+    ingests = service.store.list_ingests(kind=args.kind)
+    if not ingests:
+        print("no ingests recorded")
+        return 0
+    for ingest in ingests:
+        print("%-16s %-8s snapshot=%-12s corpus=%-18s items=%d" % (
+            ingest["ingest_id"], ingest["kind"],
+            ingest["snapshot"] or "-", ingest["corpus"] or "-",
+            ingest["items"],
+        ))
+    return 0
+
+
+def _cmd_league(service, args):
+    league = service.sdk_league(mechanism=args.mechanism,
+                                snapshot=args.snapshot)
+    if not league:
+        print("no static ingests recorded")
+        return 0
+    print("%-36s %s" % ("SDK", "#apps"))
+    for sdk, apps in league[:args.top]:
+        print("%-36s %d" % (sdk, apps))
+    return 0
+
+
+def _cmd_trend(service, args):
+    trend = service.adoption_trend()
+    if not trend:
+        print("no static ingests recorded")
+        return 0
+    print("%-12s %-9s %-9s %-7s %-6s %-10s %s" % (
+        "Snapshot", "Analyzed", "WebView", "CT", "Both",
+        "WebView %", "CT %",
+    ))
+    for row in trend:
+        print("%-12s %-9d %-9d %-7d %-6d %-10.1f %.1f" % (
+            row["snapshot"] or "-", row["analyzed"],
+            row["webview_apps"], row["ct_apps"], row["both_apps"],
+            row["webview_share"], row["ct_share"],
+        ))
+    return 0
+
+
+def _cmd_label(service, args):
+    label = service.nutrition_label(args.package, snapshot=args.snapshot)
+    if label is None:
+        print("no stored outcome for %r" % args.package, file=sys.stderr)
+        return 1
+    print("%s: grade %s" % (label.package, label.grade))
+    for line in label.disclosure_lines():
+        print("  - %s" % line)
+    return 0
+
+
+def _cmd_endpoints(service, args):
+    census = service.endpoint_census(app=args.app,
+                                     app_specific_only=args.app_specific)
+    if not census:
+        print("no crawl ingests recorded")
+        return 0
+    print("%-28s %-16s %-5s %-7s %-9s %-10s %s" % (
+        "Registrable domain", "Type", "Apps", "Visits", "Requests",
+        "Cleartext", "Credentials",
+    ))
+    for (domain, classification, apps, visits, requests, cleartext,
+         credentials) in census[:args.top]:
+        print("%-28s %-16s %-5d %-7d %-9d %-10d %d" % (
+            domain, classification, apps, visits, requests,
+            cleartext, credentials,
+        ))
+    return 0
+
+
+def _cmd_webapi(service, args):
+    rows = service.webapi_usage()
+    if not rows:
+        print("no webapi ingests recorded")
+        return 0
+    for app, interface, method, calls in rows:
+        print("%-24s %-20s %-24s %d" % (app, interface, method, calls))
+    return 0
+
+
+def _cmd_funnel(service, args):
+    funnel = service.funnel(snapshot=args.snapshot)
+    if not funnel:
+        print("no static ingests recorded")
+        return 0
+    print(json.dumps(funnel, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.results",
+        description="Query the persistent results store.",
+    )
+    parser.add_argument("--db", help="database file (default: $%s)"
+                        % RESULTS_DB_ENV_VAR)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("snapshots", help="list recorded ingests")
+    cmd.add_argument("--kind", help="only ingests of this kind")
+
+    cmd = commands.add_parser("league", help="SDK league table")
+    cmd.add_argument("--mechanism", default="webview",
+                     choices=("webview", "customtabs"))
+    cmd.add_argument("--snapshot", default=None)
+    cmd.add_argument("--top", type=int, default=20)
+
+    commands.add_parser("trend", help="adoption trend across snapshots")
+
+    cmd = commands.add_parser("label", help="one app's nutrition label")
+    cmd.add_argument("package")
+    cmd.add_argument("--snapshot", default=None)
+
+    cmd = commands.add_parser("endpoints",
+                              help="endpoint census by registrable domain")
+    cmd.add_argument("--app", default=None)
+    cmd.add_argument("--app-specific", action="store_true",
+                     help="only endpoints absent from the baseline shell")
+    cmd.add_argument("--top", type=int, default=30)
+
+    commands.add_parser("webapi", help="Web-API call events per app")
+
+    cmd = commands.add_parser("funnel", help="Table 2 funnel of an ingest")
+    cmd.add_argument("--snapshot", default=None)
+
+    args = parser.parse_args(argv)
+    service = _open_service(args)
+    handler = {
+        "snapshots": _cmd_snapshots,
+        "league": _cmd_league,
+        "trend": _cmd_trend,
+        "label": _cmd_label,
+        "endpoints": _cmd_endpoints,
+        "webapi": _cmd_webapi,
+        "funnel": _cmd_funnel,
+    }[args.command]
+    return handler(service, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,560 @@
+"""Schema'd SQLite results store for finished study outputs.
+
+Every finished study — static, longitudinal snapshot, dynamic crawl,
+Web-API measurement — can persist its *results* (not just telemetry)
+into one SQLite database named by ``REPRO_RESULTS_DB``. The schema holds
+the entities the paper's questions are asked over:
+
+- ``snapshots`` — one row per ingest, keyed ``(kind, corpus
+  fingerprint, options token, snapshot date)``. Longitudinal deltas
+  append new snapshot rows; nothing is ever rewritten, and re-ingesting
+  an already-stored key is a no-op (idempotent delta-append).
+- ``apps`` — app identity (package, category, installs).
+- ``outcomes`` — per-(snapshot, app) analysis outcome: sha256, drop
+  slug, WebView/CT usage, and the nutrition-label facts.
+- ``sdk_labels`` — per-app SDK attributions, split by mechanism.
+- ``method_calls`` — distinct WebView API methods per app, with the
+  via-top-SDK flag Table 7 needs.
+- ``crawl_visits`` / ``endpoints`` — per-(app, site) visit stats and
+  per-host endpoint rows: registrable domain (IP-literal correct),
+  classification, app-specific, cleartext and embedded-credentials
+  flags.
+- ``webapi_events`` — Web-API (interface, method) calls per app.
+
+Conventions mirror :class:`repro.obs.store.TelemetryStore` and the
+longitudinal RunStore: WAL journal with a busy timeout, a fresh
+connection per operation (fork-safe), append-only writes, corrupt
+databases read as absent, and failed writes degrade to a logged warning
+so the store never fails the study it is recording.
+
+The read side lives in :mod:`repro.results.serve`.
+"""
+
+import json
+import os
+import sqlite3
+
+from repro.errors import NetworkError
+from repro.obs.logs import get_logger
+from repro.obs.store import git_describe
+from repro.web.classify import classify_endpoint
+from repro.web.urls import parse_url_cached
+
+#: Environment variable naming the results database file.
+RESULTS_DB_ENV_VAR = "REPRO_RESULTS_DB"
+
+#: Bumped on any schema change; old files are never migrated in place.
+SCHEMA_VERSION = 1
+
+_BUSY_TIMEOUT_MS = 5000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS schema_info (
+    version INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    ingest_id TEXT UNIQUE,
+    kind TEXT NOT NULL,
+    corpus TEXT NOT NULL DEFAULT '',
+    options TEXT NOT NULL DEFAULT '',
+    snapshot TEXT NOT NULL DEFAULT '',
+    git TEXT NOT NULL DEFAULT '',
+    items INTEGER NOT NULL DEFAULT 0,
+    funnel TEXT NOT NULL DEFAULT '{}'
+);
+CREATE UNIQUE INDEX IF NOT EXISTS snapshots_key
+    ON snapshots (kind, corpus, options, snapshot);
+CREATE TABLE IF NOT EXISTS apps (
+    package TEXT PRIMARY KEY,
+    category TEXT,
+    installs INTEGER NOT NULL DEFAULT 0
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS outcomes (
+    ingest_seq INTEGER NOT NULL,
+    package TEXT NOT NULL,
+    sha256 TEXT NOT NULL DEFAULT '',
+    failed INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    uses_webview INTEGER NOT NULL DEFAULT 0,
+    uses_customtabs INTEGER NOT NULL DEFAULT 0,
+    grade TEXT NOT NULL DEFAULT '',
+    exposes_js_bridge INTEGER NOT NULL DEFAULT 0,
+    can_inject_js INTEGER NOT NULL DEFAULT 0,
+    first_party_only INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, package)
+);
+CREATE TABLE IF NOT EXISTS sdk_labels (
+    ingest_seq INTEGER NOT NULL,
+    package TEXT NOT NULL,
+    mechanism TEXT NOT NULL,
+    sdk TEXT NOT NULL,
+    sdk_category TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (ingest_seq, package, mechanism, sdk)
+);
+CREATE TABLE IF NOT EXISTS method_calls (
+    ingest_seq INTEGER NOT NULL,
+    package TEXT NOT NULL,
+    method TEXT NOT NULL,
+    via_sdk INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, package, method)
+);
+CREATE TABLE IF NOT EXISTS crawl_visits (
+    ingest_seq INTEGER NOT NULL,
+    app TEXT NOT NULL,
+    site TEXT NOT NULL,
+    site_category TEXT NOT NULL DEFAULT '',
+    position INTEGER NOT NULL DEFAULT 0,
+    endpoints INTEGER NOT NULL DEFAULT 0,
+    app_specific INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, app, site)
+);
+CREATE TABLE IF NOT EXISTS endpoints (
+    ingest_seq INTEGER NOT NULL,
+    app TEXT NOT NULL,
+    site TEXT NOT NULL,
+    host TEXT NOT NULL,
+    registrable_domain TEXT NOT NULL DEFAULT '',
+    classification TEXT NOT NULL DEFAULT '',
+    app_specific INTEGER NOT NULL DEFAULT 0,
+    requests INTEGER NOT NULL DEFAULT 0,
+    cleartext INTEGER NOT NULL DEFAULT 0,
+    has_credentials INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, app, site, host)
+);
+CREATE TABLE IF NOT EXISTS webapi_events (
+    ingest_seq INTEGER NOT NULL,
+    app TEXT NOT NULL,
+    interface TEXT NOT NULL,
+    method TEXT NOT NULL,
+    calls INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, app, interface, method)
+);
+CREATE INDEX IF NOT EXISTS outcomes_by_package
+    ON outcomes (package, ingest_seq);
+CREATE INDEX IF NOT EXISTS sdk_labels_by_ingest
+    ON sdk_labels (ingest_seq, mechanism, sdk);
+CREATE INDEX IF NOT EXISTS endpoints_by_domain
+    ON endpoints (ingest_seq, registrable_domain);
+"""
+
+
+def env_db_path():
+    """The validated ``REPRO_RESULTS_DB`` value, or None when unset."""
+    raw = os.environ.get(RESULTS_DB_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    path = raw.strip()
+    if os.path.isdir(path):
+        raise ValueError(
+            "%s=%r is a directory; it must name a database file, e.g. "
+            "%s=%s" % (RESULTS_DB_ENV_VAR, raw, RESULTS_DB_ENV_VAR,
+                       os.path.join(path, "results.db"))
+        )
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError as exc:
+            raise ValueError(
+                "%s=%r names a file in an uncreatable directory (%s)"
+                % (RESULTS_DB_ENV_VAR, raw, exc)
+            )
+    return path
+
+
+class ResultsStore:
+    """Append-only SQLite sink + source for finished study results."""
+
+    def __init__(self, path):
+        if not path or not str(path).strip():
+            raise ValueError(
+                "ResultsStore needs a database file path; set the %s "
+                "environment variable or pass one explicitly"
+                % RESULTS_DB_ENV_VAR
+            )
+        self.path = str(path)
+        self.log = get_logger("results.store")
+        self._ensure_schema()
+
+    @classmethod
+    def from_env(cls):
+        """A store for ``REPRO_RESULTS_DB``, or None when unset."""
+        path = env_db_path()
+        if path is None:
+            return None
+        return cls(path)
+
+    # -- connections ---------------------------------------------------------
+
+    def _connect(self):
+        # Fresh connection per operation: fork-safe, and concurrent
+        # reader/writer processes interleave via WAL.
+        conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_MS / 1000.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA busy_timeout=%d" % _BUSY_TIMEOUT_MS)
+        return conn
+
+    def _ensure_schema(self):
+        conn = self._connect()
+        try:
+            with conn:
+                conn.executescript(_SCHEMA)
+                row = conn.execute(
+                    "SELECT version FROM schema_info"
+                ).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO schema_info (version) VALUES (?)",
+                        (SCHEMA_VERSION,),
+                    )
+                elif row[0] != SCHEMA_VERSION:
+                    raise ValueError(
+                        "results database %s has schema version %d, this "
+                        "build writes version %d; point %s at a fresh "
+                        "file" % (self.path, row[0], SCHEMA_VERSION,
+                                  RESULTS_DB_ENV_VAR)
+                    )
+        finally:
+            conn.close()
+
+    # -- generation counter --------------------------------------------------
+
+    def generation(self):
+        """Monotonic ingest counter; the serving cache's invalidation key.
+
+        Every completed ingest bumps it (it is ``MAX(seq)`` over the
+        snapshots table), so any cache entry keyed on the generation is
+        implicitly invalidated the moment new results land. A corrupt or
+        empty database reads as generation 0.
+        """
+        rows = self._query("SELECT MAX(seq) FROM snapshots")
+        if not rows or rows[0][0] is None:
+            return 0
+        return rows[0][0]
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest(self, result, corpus="", options="", snapshot="", git=None,
+               app_name=None):
+        """Persist one finished study output; returns ingest_id or None.
+
+        Dispatches on type: a
+        :class:`~repro.static_analysis.results.StudyResult` lands as a
+        ``static`` snapshot, a :class:`~repro.dynamic.crawler.CrawlResult`
+        as a ``crawl`` snapshot. Ingests are keyed by ``(kind, corpus,
+        options, snapshot)``: re-ingesting an existing key is an
+        idempotent no-op returning the stored ingest_id, so longitudinal
+        re-runs append only genuinely new snapshots. Failed writes are
+        logged and swallowed — recording results must never fail the
+        study that produced them.
+        """
+        # Late imports keep repro.results importable without dragging in
+        # the full analysis stack at module load.
+        from repro.dynamic.crawler import CrawlResult
+        from repro.static_analysis.results import StudyResult
+
+        if isinstance(result, StudyResult):
+            writer = _StudyWriter(result)
+            kind = "static"
+        elif isinstance(result, CrawlResult):
+            writer = _CrawlWriter(result)
+            kind = "crawl"
+        else:
+            raise TypeError(
+                "ResultsStore.ingest expects a StudyResult or a "
+                "CrawlResult, got %r" % type(result).__name__
+            )
+        return self._ingest(kind, writer, corpus, options, snapshot, git)
+
+    def ingest_webapi(self, measurements, corpus="", options="",
+                      snapshot="", git=None):
+        """Persist Web-API call events from IAB measurements."""
+        return self._ingest("webapi", _WebApiWriter(measurements),
+                            corpus, options, snapshot, git)
+
+    def _ingest(self, kind, writer, corpus, options, snapshot, git):
+        if git is None:
+            git = git_describe()
+        try:
+            return self._insert_ingest(kind, writer, corpus, options,
+                                       snapshot, git)
+        except sqlite3.Error as exc:
+            self.log.warning("ingest_failed", kind=kind, error=str(exc))
+            return None
+
+    def _insert_ingest(self, kind, writer, corpus, options, snapshot, git):
+        conn = self._connect()
+        try:
+            with conn:
+                # BEGIN IMMEDIATE serializes id allocation and the
+                # idempotence check across concurrent writer processes.
+                conn.execute("BEGIN IMMEDIATE")
+                existing = conn.execute(
+                    "SELECT ingest_id FROM snapshots WHERE kind = ? AND"
+                    " corpus = ? AND options = ? AND snapshot = ?",
+                    (kind, corpus, options, snapshot),
+                ).fetchone()
+                if existing is not None:
+                    self.log.info("ingest_skipped", kind=kind,
+                                  ingest=existing[0], snapshot=snapshot)
+                    return existing[0]
+                cursor = conn.execute(
+                    "INSERT INTO snapshots (kind, corpus, options,"
+                    " snapshot, git, items, funnel)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (kind, corpus, options, snapshot, git,
+                     writer.items(), json.dumps(writer.funnel(),
+                                                sort_keys=True)),
+                )
+                seq = cursor.lastrowid
+                ingest_id = "%s-%06d" % (kind, seq)
+                conn.execute(
+                    "UPDATE snapshots SET ingest_id = ? WHERE seq = ?",
+                    (ingest_id, seq),
+                )
+                writer.write(conn, seq)
+        finally:
+            conn.close()
+        self.log.info("ingested", ingest=ingest_id, kind=kind,
+                      snapshot=snapshot, items=writer.items())
+        return ingest_id
+
+    # -- reads (corrupt database => empty results) ---------------------------
+
+    def _query(self, sql, params=()):
+        try:
+            conn = self._connect()
+        except sqlite3.Error:
+            return []
+        try:
+            return conn.execute(sql, params).fetchall()
+        except sqlite3.Error:
+            return []
+        finally:
+            conn.close()
+
+    def list_ingests(self, kind=None):
+        """Ingest metadata dicts, oldest first; optionally one kind."""
+        sql = ("SELECT seq, ingest_id, kind, corpus, options, snapshot,"
+               " git, items FROM snapshots")
+        params = ()
+        if kind is not None:
+            sql += " WHERE kind = ?"
+            params = (kind,)
+        sql += " ORDER BY seq"
+        return [
+            {"seq": row[0], "ingest_id": row[1], "kind": row[2],
+             "corpus": row[3], "options": row[4], "snapshot": row[5],
+             "git": row[6], "items": row[7]}
+            for row in self._query(sql, params)
+        ]
+
+    def latest_seq(self, kind, corpus=None, options=None, snapshot=None):
+        """Newest matching ingest's seq, or None."""
+        sql = "SELECT seq FROM snapshots WHERE kind = ?"
+        params = [kind]
+        for column, value in (("corpus", corpus), ("options", options),
+                              ("snapshot", snapshot)):
+            if value is not None:
+                sql += " AND %s = ?" % column
+                params.append(value)
+        sql += " ORDER BY seq DESC LIMIT 1"
+        rows = self._query(sql, tuple(params))
+        return rows[0][0] if rows else None
+
+    def funnel(self, seq):
+        """One ingest's Table 2 funnel dict, or {}."""
+        rows = self._query(
+            "SELECT funnel FROM snapshots WHERE seq = ?", (seq,)
+        )
+        if not rows:
+            return {}
+        try:
+            return json.loads(rows[0][0])
+        except ValueError:
+            return {}
+
+    def __repr__(self):
+        return "ResultsStore(%s)" % self.path
+
+
+# -- ingest writers -----------------------------------------------------------
+
+
+class _StudyWriter:
+    """Flattens a StudyResult into outcomes/sdk_labels/method_calls rows.
+
+    The row semantics deliberately mirror
+    :class:`repro.static_analysis.report.Aggregator` — the serving layer
+    must reproduce the in-memory aggregation byte-for-byte, so what the
+    Aggregator derives per app is exactly what gets stored per app.
+    """
+
+    def __init__(self, result):
+        self.result = result
+
+    def items(self):
+        return self.result.analyzed
+
+    def funnel(self):
+        return self.result.funnel_dict()
+
+    def write(self, conn, seq):
+        from repro.sdk.labeling import PackageLabel
+        from repro.static_analysis.nutrition import build_label
+        from repro.static_analysis.results import RecordedCall
+
+        labeler = self.result.labeler
+        for analysis in self.result.analyses:
+            conn.execute(
+                "INSERT OR IGNORE INTO apps (package, category, installs)"
+                " VALUES (?, ?, ?)",
+                (analysis.package,
+                 str(analysis.category) if analysis.category else None,
+                 analysis.installs),
+            )
+            if analysis.failed:
+                conn.execute(
+                    "INSERT INTO outcomes (ingest_seq, package, sha256,"
+                    " failed, error) VALUES (?, ?, ?, 1, ?)",
+                    (seq, analysis.package,
+                     getattr(analysis, "sha256", "") or "",
+                     analysis.failure_reason),
+                )
+                continue
+            attribution = analysis.label_sdks(labeler)
+            label = build_label(analysis, attribution)
+            conn.execute(
+                "INSERT INTO outcomes (ingest_seq, package, sha256,"
+                " failed, error, uses_webview, uses_customtabs, grade,"
+                " exposes_js_bridge, can_inject_js, first_party_only)"
+                " VALUES (?, ?, ?, 0, NULL, ?, ?, ?, ?, ?, ?)",
+                (seq, analysis.package,
+                 getattr(analysis, "sha256", "") or "",
+                 int(analysis.uses_webview), int(analysis.uses_customtabs),
+                 label.grade, int(label.exposes_js_bridge),
+                 int(label.can_inject_js), int(label.first_party_only)),
+            )
+            for mechanism, bucket in (
+                ("webview", attribution.webview),
+                ("customtabs", attribution.customtabs),
+            ):
+                for sdk in bucket.sdks:
+                    conn.execute(
+                        "INSERT OR IGNORE INTO sdk_labels (ingest_seq,"
+                        " package, mechanism, sdk, sdk_category)"
+                        " VALUES (?, ?, ?, ?, ?)",
+                        (seq, analysis.package, mechanism, sdk.name,
+                         str(sdk.category)),
+                    )
+            methods_seen = set()
+            methods_via_sdk = set()
+            for call in analysis.counting_calls(RecordedCall.WEBVIEW):
+                methods_seen.add(call.method)
+                if (labeler.label(call.caller_package).status
+                        == PackageLabel.KNOWN):
+                    methods_via_sdk.add(call.method)
+            for method in sorted(methods_seen):
+                conn.execute(
+                    "INSERT INTO method_calls (ingest_seq, package,"
+                    " method, via_sdk) VALUES (?, ?, ?, ?)",
+                    (seq, analysis.package, method,
+                     int(method in methods_via_sdk)),
+                )
+
+
+class _CrawlWriter:
+    """Flattens a CrawlResult into crawl_visits/endpoints rows.
+
+    Per-host rows reuse the exact classification the Figure 6 summary
+    computes (``classify_endpoint(host, intended_url)``), and add the
+    endpoint-security facts URL parsing now surfaces: the (IP-correct)
+    registrable domain, cleartext transport, embedded credentials.
+    """
+
+    def __init__(self, crawl):
+        self.crawl = crawl
+
+    def items(self):
+        return len(self.crawl.visits)
+
+    def funnel(self):
+        return {}
+
+    def write(self, conn, seq):
+        for position, visit in enumerate(self.crawl.visits):
+            specific = set(self.crawl.app_specific_hosts(visit))
+            hosts = visit.hosts()
+            conn.execute(
+                "INSERT OR REPLACE INTO crawl_visits (ingest_seq, app,"
+                " site, site_category, position, endpoints, app_specific)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (seq, visit.app.name, visit.site.host,
+                 str(visit.site.category), position,
+                 len(visit.endpoints), len(specific)),
+            )
+            # Stats are keyed exactly the way SiteVisit.hosts() keys
+            # hosts (the raw netloc), so every summary host gets a row.
+            per_host = {}
+            for endpoint in visit.endpoints:
+                netloc = endpoint.split("://", 1)[1].split("/", 1)[0]
+                stats = per_host.setdefault(
+                    netloc, {"requests": 0, "cleartext": 0,
+                             "credentials": 0, "domain": ""},
+                )
+                stats["requests"] += 1
+                try:
+                    url = parse_url_cached(endpoint)
+                except NetworkError:
+                    continue
+                stats["domain"] = url.registrable_domain
+                if url.scheme in ("http", "ws"):
+                    stats["cleartext"] = 1
+                if url.has_credentials:
+                    stats["credentials"] = 1
+            for host in hosts:
+                stats = per_host.get(host)
+                if stats is None:
+                    continue
+                classification = classify_endpoint(
+                    host, intended_url=visit.site.landing_url
+                )
+                conn.execute(
+                    "INSERT OR REPLACE INTO endpoints (ingest_seq, app,"
+                    " site, host, registrable_domain, classification,"
+                    " app_specific, requests, cleartext, has_credentials)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (seq, visit.app.name, visit.site.host, host,
+                     stats["domain"], str(classification),
+                     int(host in specific), stats["requests"],
+                     stats["cleartext"], stats["credentials"]),
+                )
+
+
+class _WebApiWriter:
+    """Flattens IabMeasurement Web-API (interface, method) pairs."""
+
+    def __init__(self, measurements):
+        self.measurements = measurements
+
+    def items(self):
+        return len(self.measurements)
+
+    def funnel(self):
+        return {}
+
+    def write(self, conn, seq):
+        for name in sorted(self.measurements):
+            measurement = self.measurements[name]
+            counts = {}
+            for interface, method in measurement.webapi_pairs:
+                key = (interface, method)
+                counts[key] = counts.get(key, 0) + 1
+            for (interface, method), calls in sorted(counts.items()):
+                conn.execute(
+                    "INSERT OR REPLACE INTO webapi_events (ingest_seq,"
+                    " app, interface, method, calls)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (seq, name, interface, method, calls),
+                )

@@ -628,6 +628,11 @@ class StaticAnalysisPipeline:
                                calls=len(outcome.analysis.calls),
                                classes=outcome.analysis.class_count,
                                cached=outcome.cached)
+            # Content identity travels with the analysis so downstream
+            # stores (repro.results) can key outcomes by (sha256,
+            # options, corpus) — set on cached replays too, keeping
+            # cache-on/off results identical.
+            outcome.analysis.sha256 = outcome.sha256
             result.add(outcome.analysis)
             if outcome.cacheable and not outcome.cached:
                 self.cache.put(outcome.sha256, fingerprint,

@@ -64,6 +64,9 @@ class AppAnalysis:
         self.package = package
         self.category = category
         self.installs = installs
+        #: The analyzed APK's sha256, attached at aggregation time so
+        #: persistent stores can key per-app outcomes by content.
+        self.sha256 = ""
         self.calls = []
         self.webview_subclasses = set()
         self.class_count = 0
