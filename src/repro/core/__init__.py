@@ -18,7 +18,8 @@ Three studies build on the paper's two pipelines:
 >>> print(study.table7())                      # doctest: +SKIP
 """
 
-from repro.core.study import StaticStudy, DynamicStudy
+from repro.core.study import DynamicStudy, InterleavedStudies, StaticStudy
 from repro.longitudinal import LongitudinalStudy
 
-__all__ = ["StaticStudy", "DynamicStudy", "LongitudinalStudy"]
+__all__ = ["StaticStudy", "DynamicStudy", "InterleavedStudies",
+           "LongitudinalStudy"]

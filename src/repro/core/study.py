@@ -7,12 +7,12 @@ from repro.dynamic.crawler import AdbCrawler, DEFAULT_CRAWL_CHUNK_SIZE
 from repro.exec.config import CHUNK_SIZE_ENV_VAR, _env_int
 from repro.dynamic.manual_study import ManualStudy
 from repro.dynamic.measurements import IabMeasurementHarness
-from repro.exec import ExecConfig
-from repro.obs import Obs
+from repro.exec import ExecConfig, StreamScheduler, chain_results
+from repro.obs import Obs, get_logger
 from repro.obs.progress import ProgressReporter, progress_enabled
 from repro.obs.store import TelemetryStore
 from repro.reporting import Table
-from repro.results.store import ResultsStore
+from repro.results.store import ResultsStore, prepare_study_row
 from repro.static_analysis.pipeline import (
     PipelineOptions,
     StaticAnalysisPipeline,
@@ -37,14 +37,16 @@ class StaticStudy:
     ``max_workers`` / ``chunk_size`` / ``exec_backend`` shard the per-app
     analysis across a :mod:`repro.exec` worker pool; left at None they
     fall back to the ``REPRO_MAX_WORKERS`` / ``REPRO_CHUNK_SIZE`` /
-    ``REPRO_EXEC_BACKEND`` environment. Results are byte-identical for
-    any worker count (see DESIGN.md §Execution).
+    ``REPRO_EXEC_BACKEND`` environment. ``streaming`` (or
+    ``REPRO_EXEC_STREAMING``) runs the study on the streaming scheduler
+    instead of the barrier pool. Results are byte-identical for any
+    worker count, backend and scheduler (see DESIGN.md §Execution).
     """
 
     def __init__(self, universe_size=20_000, seed=DEFAULT_SEED, corpus=None,
                  options=None, obs=None, max_workers=None, chunk_size=None,
-                 exec_backend=None, telemetry=None, results_store=None,
-                 progress_hook=None):
+                 exec_backend=None, streaming=None, telemetry=None,
+                 results_store=None, progress_hook=None):
         #: Per-study observability bundle (registry + tracer + clock).
         self.obs = obs if obs is not None else Obs()
         if corpus is None:
@@ -56,7 +58,8 @@ class StaticStudy:
         self.options = options or PipelineOptions()
         self.exec_config = ExecConfig(max_workers=max_workers,
                                       chunk_size=chunk_size,
-                                      backend=exec_backend)
+                                      backend=exec_backend,
+                                      streaming=streaming)
         #: Run-history sink; defaults to ``REPRO_OBS_DB`` when set.
         self.telemetry = (telemetry if telemetry is not None
                           else TelemetryStore.from_env())
@@ -74,7 +77,45 @@ class StaticStudy:
 
     def run(self, max_apps=None, progress=None):
         """Run the pipeline; memoizes the result and persists telemetry."""
-        self.result = self.pipeline.run(max_apps=max_apps, progress=progress)
+        if self.exec_config.streaming:
+            return self.run_streaming(max_apps=max_apps, progress=progress)
+        result = self.pipeline.run(max_apps=max_apps, progress=progress)
+        return self._finish_run(result)
+
+    def run_streaming(self, max_apps=None, progress=None):
+        """Run on the streaming scheduler, labeling ingest rows en route."""
+        plan = self.stream_plan(max_apps=max_apps, progress=progress)
+        scheduler = StreamScheduler(self.exec_config, log=self.pipeline.log)
+        scheduler.run([plan.stage])
+        result = plan.finalize(scheduler)
+        return self._finish_run(result, prepared=plan.prepared)
+
+    def stream_plan(self, max_apps=None, progress=None):
+        """Open a streaming run whose ingest rows prepare incrementally.
+
+        On top of the pipeline's own plan, an extra ordered consumer
+        SDK-labels each successful outcome as it lands, so by
+        :meth:`InterleavedStudies.run`/:meth:`run_streaming` finalize
+        time the results-DB ingest only writes rows (cache-served apps
+        bypass the stage and are prepared inside the ingest instead).
+        """
+        plan = self.pipeline.stream_plan(max_apps=max_apps,
+                                         progress=progress)
+        plan.prepared = {}
+        labeler = self.pipeline.labeler
+
+        def prepare(index, outcome):
+            if outcome.error is None:
+                plan.prepared[outcome.package] = prepare_study_row(
+                    outcome.analysis, labeler
+                )
+
+        plan.stage.consume_ordered(prepare)
+        return plan
+
+    def _finish_run(self, result, prepared=None):
+        """Memoize the result and persist telemetry + queryable rows."""
+        self.result = result
         self._aggregator = None
         if self.telemetry is not None:
             self.telemetry.record_run(
@@ -89,6 +130,7 @@ class StaticStudy:
                 corpus=self.corpus.fingerprint(),
                 options=fingerprint_token(self.options.cache_key()),
                 snapshot=str(self.corpus.config.snapshot_date),
+                prepared=prepared,
             )
         return self.result
 
@@ -160,8 +202,8 @@ class DynamicStudy:
 
     def __init__(self, seed=DEFAULT_SEED, site_count=100, total_apps=1000,
                  obs=None, max_workers=None, chunk_size=None,
-                 exec_backend=None, script_cache=None, telemetry=None,
-                 results_store=None, progress_hook=None):
+                 exec_backend=None, script_cache=None, streaming=None,
+                 telemetry=None, results_store=None, progress_hook=None):
         self.seed = seed
         self.obs = obs if obs is not None else Obs()
         self.telemetry = (telemetry if telemetry is not None
@@ -179,7 +221,8 @@ class DynamicStudy:
         self.exec_config = ExecConfig(max_workers=max_workers,
                                       chunk_size=chunk_size,
                                       backend=exec_backend,
-                                      script_cache=script_cache)
+                                      script_cache=script_cache,
+                                      streaming=streaming)
         self._classifications = None
         self._measurements = None
         self._crawl = None
@@ -257,39 +300,52 @@ class DynamicStudy:
 
     def crawl_top_sites(self, apps=None, progress=None):
         if self._crawl is None:
-            if apps is None:
-                apps = webview_iab_profiles()
-            crawler = AdbCrawler(apps, sites=self.sites, seed=self.seed,
-                                 obs=self.obs,
-                                 exec_config=self.exec_config)
-            from repro.exec import chain_results
-
-            self._crawl = crawler.crawl(
+            crawler = self._make_crawler(apps)
+            crawl = crawler.crawl(
                 progress=chain_results(progress, self.progress_hook)
             )
-            if self.telemetry is not None:
-                self.telemetry.record_run(
-                    self.obs, "dynamic",
-                    corpus=fingerprint_token(
-                        ("crawl", self.seed, len(self.sites))
-                    ),
-                    options=fingerprint_token(
-                        ("script_cache", self.exec_config.script_cache)
-                    ),
-                    items=len(self._crawl.visits), root_span="crawl",
-                )
-            if self.results_store is not None:
-                self.results_store.ingest(
-                    self._crawl,
-                    corpus=fingerprint_token(
-                        ("crawl", self.seed, len(self.sites))
-                    ),
-                    options=fingerprint_token(
-                        ("script_cache", self.exec_config.script_cache)
-                    ),
-                    snapshot="seed-%d" % self.seed,
-                )
+            self._finish_crawl(crawl)
         return self._crawl
+
+    def _make_crawler(self, apps=None):
+        if apps is None:
+            apps = webview_iab_profiles()
+        return AdbCrawler(apps, sites=self.sites, seed=self.seed,
+                          obs=self.obs, exec_config=self.exec_config)
+
+    def stream_plan(self, apps=None, progress=None):
+        """Open a streaming crawl (see :meth:`AdbCrawler.stream_plan`)."""
+        crawler = self._make_crawler(apps)
+        return crawler.stream_plan(
+            progress=chain_results(progress, self.progress_hook)
+        )
+
+    def _finish_crawl(self, crawl):
+        """Memoize the crawl and persist telemetry + queryable rows."""
+        self._crawl = crawl
+        if self.telemetry is not None:
+            self.telemetry.record_run(
+                self.obs, "dynamic",
+                corpus=fingerprint_token(
+                    ("crawl", self.seed, len(self.sites))
+                ),
+                options=fingerprint_token(
+                    ("script_cache", self.exec_config.script_cache)
+                ),
+                items=len(crawl.visits), root_span="crawl",
+            )
+        if self.results_store is not None:
+            self.results_store.ingest(
+                crawl,
+                corpus=fingerprint_token(
+                    ("crawl", self.seed, len(self.sites))
+                ),
+                options=fingerprint_token(
+                    ("script_cache", self.exec_config.script_cache)
+                ),
+                snapshot="seed-%d" % self.seed,
+            )
+        return crawl
 
     def run_report(self):
         """Crawl-health markdown: visit throughput and stage time shares."""
@@ -306,6 +362,49 @@ class DynamicStudy:
 
     def all_profiles(self):
         return real_app_profiles()
+
+
+class InterleavedStudies:
+    """Run a static study and a dynamic crawl through ONE scheduler.
+
+    Both studies' chunks interleave round-robin in a single streaming
+    worker pool (:class:`~repro.exec.StreamScheduler`), so the crawl's
+    many uniform shards fill the worker idle time behind the static
+    study's straggler APKs — the mixed-workload speedup
+    ``benchmarks/bench_scheduler.py`` measures. One shared schedule
+    simulation attributes workers and makespan across both stages.
+
+    Each study keeps its own :class:`~repro.obs.Obs` bundle (the
+    stages' ``context`` factories re-enter the right tracer around
+    every event), and both results are byte-identical to running the
+    studies back to back.
+    """
+
+    def __init__(self, static_study, dynamic_study, exec_config=None):
+        self.static = static_study
+        self.dynamic = dynamic_study
+        #: Governs workers/window/backend/retries for the shared pool;
+        #: each stage keeps its own study's chunk size.
+        self.exec_config = (exec_config if exec_config is not None
+                            else static_study.exec_config)
+        self.log = get_logger("core.interleave")
+
+    def run(self, max_apps=None, apps=None):
+        """Run both studies interleaved; returns (StudyResult, CrawlResult)."""
+        static_plan = self.static.stream_plan(max_apps=max_apps)
+        crawl_plan = self.dynamic.stream_plan(apps=apps)
+        scheduler = StreamScheduler(self.exec_config, log=self.log)
+        scheduler.run([static_plan.stage, crawl_plan.stage])
+        schedule, per_stage = scheduler.simulate(
+            [static_plan.costs(), crawl_plan.costs()]
+        )
+        result = static_plan.finalize(scheduler, schedule=schedule,
+                                      assignments=per_stage[0])
+        crawl = crawl_plan.finalize(scheduler, schedule=schedule,
+                                    assignments=per_stage[1])
+        self.static._finish_run(result, prepared=static_plan.prepared)
+        self.dynamic._finish_crawl(crawl)
+        return result, crawl
 
 
 def _abbrev(value):

@@ -104,6 +104,17 @@ class CorpusError(ReproError):
     """Raised by the corpus generator for inconsistent configurations."""
 
 
+class WorkerLostError(ReproError):
+    """Raised when a shard's worker died and the retry budget ran out.
+
+    The streaming scheduler (:mod:`repro.exec.stream`) re-queues chunks
+    lost to worker death; a task still failing after
+    ``ExecConfig.max_attempts`` is quarantined with this error so the
+    study finishes with a ``worker_lost`` drop-taxonomy entry instead of
+    aborting.
+    """
+
+
 # -- drop-reason taxonomy for the metrics layer -------------------------------
 #
 # The observability layer (repro.obs) counts pipeline drops per reason; the

@@ -20,14 +20,25 @@ shard themselves with:
   once per corpus (``REPRO_CACHE_MAX_ENTRIES`` bounds both tiers,
   ``REPRO_CACHE_DIR`` adds an on-disk class-facts layer,
   ``REPRO_CLASS_CACHE=0`` disables class-level memoization).
-- **schedule accounting** (:mod:`repro.exec.schedule`): a deterministic
-  greedy earliest-free-worker simulation over measured task costs; the
-  run report's parallel-speedup figure (work / critical path) comes from
-  it, independent of real scheduling jitter.
+- **schedule accounting** (:mod:`repro.exec.schedule`): deterministic
+  simulations over measured task costs — a greedy earliest-free-worker
+  replay for the barrier pools and an event-driven streaming replay
+  (ready times, work steals) for the streaming scheduler; the run
+  report's parallel-speedup figure (work / critical path) comes from
+  them, independent of real scheduling jitter.
+- **streaming scheduler** (:mod:`repro.exec.stream`): stages declare
+  their downstream consumers and results flow as they complete, with
+  round-robin chunk interleaving across stages, cancel-and-split work
+  stealing for straggler tails, and a worker-death repair pass that
+  bisects lost chunks and quarantines a repeat offender into the drop
+  taxonomy after ``REPRO_EXEC_RETRIES`` attempts. Enabled per study via
+  ``REPRO_EXEC_STREAMING`` or ``ExecConfig(streaming=True)``.
 
 Determinism contract: results are aggregated in submission order and the
 per-task work is a pure function of the APK bytes, so a same-seed study
-produces byte-identical tables for any worker count or backend.
+produces byte-identical tables for any worker count or backend — with
+the streaming scheduler included, whose ordered consumers see exact
+task order via a prefix-flush buffer however chunks complete.
 """
 
 from repro.exec.cache import (
@@ -45,10 +56,14 @@ from repro.exec.config import (
     BACKEND_PROCESS,
     CHUNK_SIZE_ENV_VAR,
     CLASS_CACHE_ENV_VAR,
+    DEFAULT_MAX_ATTEMPTS,
     ExecConfig,
     ExecConfigError,
     MAX_WORKERS_ENV_VAR,
+    RETRIES_ENV_VAR,
     SCRIPT_CACHE_ENV_VAR,
+    STREAMING_ENV_VAR,
+    WINDOW_ENV_VAR,
 )
 from repro.exec.pool import (
     InlinePool,
@@ -58,7 +73,20 @@ from repro.exec.pool import (
     make_pool,
     process_backend_available,
 )
-from repro.exec.schedule import Schedule, simulate_schedule
+from repro.exec.schedule import (
+    Schedule,
+    StreamSchedule,
+    simulate_schedule,
+    simulate_stream,
+    simulate_stream_chunks,
+)
+from repro.exec.stream import (
+    OrderedFlush,
+    StreamScheduler,
+    StreamStage,
+    WORKER_LOST_SLUG,
+    stage_schedule_view,
+)
 
 __all__ = [
     "AnalysisCache",
@@ -70,19 +98,31 @@ __all__ = [
     "CHUNK_SIZE_ENV_VAR",
     "CLASS_CACHE_ENV_VAR",
     "ClassFactsCache",
+    "DEFAULT_MAX_ATTEMPTS",
     "ExecConfig",
     "ExecConfigError",
     "InlinePool",
     "LruStore",
     "MAX_ENTRIES_ENV_VAR",
     "MAX_WORKERS_ENV_VAR",
+    "OrderedFlush",
     "ProcessPool",
+    "RETRIES_ENV_VAR",
     "SCRIPT_CACHE_ENV_VAR",
+    "STREAMING_ENV_VAR",
     "Schedule",
+    "StreamSchedule",
+    "StreamScheduler",
+    "StreamStage",
+    "WINDOW_ENV_VAR",
+    "WORKER_LOST_SLUG",
     "WorkerPool",
     "chain_results",
     "env_max_entries",
     "make_pool",
     "process_backend_available",
     "simulate_schedule",
+    "simulate_stream",
+    "simulate_stream_chunks",
+    "stage_schedule_view",
 ]

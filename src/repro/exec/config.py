@@ -9,6 +9,12 @@ default) picks processes only when more than one worker is requested.
 are byte-identical either way. ``REPRO_SCRIPT_CACHE`` is the dynamic
 pipeline's analogue: it toggles the compiled-script cache in
 :mod:`repro.web.jsengine` (also on by default, also exercised off in CI).
+
+``REPRO_EXEC_WINDOW`` overrides the in-flight chunk window (default
+``2 * max_workers``), ``REPRO_EXEC_STREAMING`` routes the studies
+through the streaming DAG scheduler (:mod:`repro.exec.stream`) instead
+of the barrier pools, and ``REPRO_EXEC_RETRIES`` is the per-shard retry
+budget before a lost task is quarantined into the drop taxonomy.
 """
 
 import os
@@ -18,6 +24,9 @@ CHUNK_SIZE_ENV_VAR = "REPRO_CHUNK_SIZE"
 BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 CLASS_CACHE_ENV_VAR = "REPRO_CLASS_CACHE"
 SCRIPT_CACHE_ENV_VAR = "REPRO_SCRIPT_CACHE"
+WINDOW_ENV_VAR = "REPRO_EXEC_WINDOW"
+STREAMING_ENV_VAR = "REPRO_EXEC_STREAMING"
+RETRIES_ENV_VAR = "REPRO_EXEC_RETRIES"
 
 BACKEND_AUTO = "auto"
 BACKEND_INLINE = "inline"
@@ -25,6 +34,12 @@ BACKEND_PROCESS = "process"
 _BACKENDS = (BACKEND_AUTO, BACKEND_INLINE, BACKEND_PROCESS)
 
 DEFAULT_CHUNK_SIZE = 8
+
+#: Retry budget for shards lost to worker death or poisoned tasks: a
+#: lost chunk is split and re-queued until a single surviving task has
+#: failed this many times, after which it is quarantined into the drop
+#: taxonomy (see :mod:`repro.exec.stream`).
+DEFAULT_MAX_ATTEMPTS = 3
 
 
 class ExecConfigError(ValueError):
@@ -58,12 +73,16 @@ class ExecConfig:
 
     ``max_workers`` bounds concurrency, ``chunk_size`` is how many tasks
     ride in one worker dispatch, and the in-flight window (submitted but
-    unfinished chunks) is bounded at ``2 * max_workers`` so arbitrarily
-    large corpora never pile up in the executor's queue.
+    unfinished chunks) defaults to ``2 * max_workers`` so arbitrarily
+    large corpora never pile up in the executor's queue
+    (``REPRO_EXEC_WINDOW`` / ``window=`` override it). ``streaming``
+    hands execution to the :mod:`repro.exec.stream` DAG scheduler and
+    ``max_attempts`` bounds its repair retries per lost shard.
     """
 
     def __init__(self, max_workers=None, chunk_size=None, backend=None,
-                 class_cache=None, script_cache=None):
+                 class_cache=None, script_cache=None, window=None,
+                 streaming=None, max_attempts=None):
         if max_workers is None:
             max_workers = _env_int(MAX_WORKERS_ENV_VAR, 1)
         if chunk_size is None:
@@ -74,12 +93,23 @@ class ExecConfig:
             class_cache = _env_flag(CLASS_CACHE_ENV_VAR, True)
         if script_cache is None:
             script_cache = _env_flag(SCRIPT_CACHE_ENV_VAR, True)
+        if window is None:
+            window = _env_int(WINDOW_ENV_VAR, None)
+        if streaming is None:
+            streaming = _env_flag(STREAMING_ENV_VAR, False)
+        if max_attempts is None:
+            max_attempts = _env_int(RETRIES_ENV_VAR, DEFAULT_MAX_ATTEMPTS)
         if max_workers < 1:
             raise ExecConfigError("max_workers must be >= 1, got %d"
                                   % max_workers)
         if chunk_size < 1:
             raise ExecConfigError("chunk_size must be >= 1, got %d"
                                   % chunk_size)
+        if window is not None and window < 1:
+            raise ExecConfigError("window must be >= 1, got %d" % window)
+        if max_attempts < 1:
+            raise ExecConfigError("max_attempts must be >= 1, got %d"
+                                  % max_attempts)
         if backend not in _BACKENDS:
             raise ExecConfigError(
                 "backend must be one of %s, got %r" % (_BACKENDS, backend)
@@ -89,6 +119,9 @@ class ExecConfig:
         self.backend = backend
         self.class_cache = bool(class_cache)
         self.script_cache = bool(script_cache)
+        self._window = int(window) if window is not None else None
+        self.streaming = bool(streaming)
+        self.max_attempts = int(max_attempts)
 
     @property
     def resolved_backend(self):
@@ -101,7 +134,14 @@ class ExecConfig:
 
     @property
     def window(self):
-        """Maximum chunks submitted-but-unfinished at any moment."""
+        """Maximum chunks submitted-but-unfinished at any moment.
+
+        Defaults to ``2 * max_workers`` — enough submitted-ahead work to
+        keep every worker busy between drain cycles — and can be pinned
+        explicitly via ``REPRO_EXEC_WINDOW`` or the ``window`` argument.
+        """
+        if self._window is not None:
+            return self._window
         return 2 * self.max_workers
 
     def __repr__(self):

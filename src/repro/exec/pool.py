@@ -19,6 +19,7 @@ back automatically and logs a warning).
 
 import concurrent.futures
 import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.exec.config import BACKEND_INLINE, BACKEND_PROCESS
 
@@ -37,6 +38,11 @@ class WorkerPool:
 
     def __init__(self, config):
         self.config = config
+        #: Chunks re-run inline after losing their worker mid-flight
+        #: (``BrokenProcessPool``); feeds the
+        #: ``repro_exec_chunks_repaired_total`` metric. Always 0 for the
+        #: inline backend, which has no workers to lose.
+        self.repaired_chunks = 0
 
     def map(self, items, fn, on_result=None):
         raise NotImplementedError
@@ -112,17 +118,47 @@ class ProcessPool(WorkerPool):
         size = self.config.chunk_size
         chunks = [(start, items[start:start + size])
                   for start in range(0, len(items), size)]
+        remaining = list(range(len(chunks)))
+        while remaining:
+            try:
+                self._drain(chunks, remaining, fn, results, on_result)
+            except BrokenProcessPool:
+                # A worker died and took every in-flight chunk with it.
+                # ``remaining`` holds exactly the chunks that never
+                # delivered results; repair the earliest inline (worker
+                # death cannot strike the parent process) so a
+                # deterministically poisonous chunk still makes progress,
+                # then hand the rest back to a fresh executor.
+                index = remaining.pop(0)
+                start, chunk = chunks[index]
+                for offset, value in enumerate(_run_chunk(fn, chunk)):
+                    results[start + offset] = value
+                    if on_result is not None:
+                        on_result(value)
+                self.repaired_chunks += 1
+        return results
+
+    def _drain(self, chunks, remaining, fn, results, on_result):
+        """Run every chunk in ``remaining`` on one executor.
+
+        Completed chunks are removed from ``remaining`` (and their
+        results recorded) as they finish, so when ``BrokenProcessPool``
+        propagates out of here, ``remaining`` is precisely the lost
+        in-flight chunks plus the never-submitted tail.
+        """
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.config.max_workers, mp_context=_pool_context()
         ) as executor:
             pending = {}
+            queue = list(remaining)
             position = 0
 
             def submit_next():
-                start, chunk = chunks[position]
-                pending[executor.submit(_run_chunk, fn, chunk)] = start
+                index = queue[position]
+                start, chunk = chunks[index]
+                pending[executor.submit(_run_chunk, fn, chunk)] = index
 
-            while position < len(chunks) and len(pending) < self.config.window:
+            while position < len(queue) and len(pending) < self.config.window:
                 submit_next()
                 position += 1
             while pending:
@@ -130,15 +166,16 @@ class ProcessPool(WorkerPool):
                     pending, return_when=concurrent.futures.FIRST_COMPLETED
                 )
                 for future in done:
-                    start = pending.pop(future)
+                    index = pending.pop(future)
+                    start, _ = chunks[index]
                     for offset, value in enumerate(future.result()):
                         results[start + offset] = value
                         if on_result is not None:
                             on_result(value)
-                    if position < len(chunks):
+                    remaining.remove(index)
+                    if position < len(queue):
                         submit_next()
                         position += 1
-        return results
 
 
 def process_backend_available():

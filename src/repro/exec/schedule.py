@@ -9,7 +9,22 @@ resulting per-worker busy times and critical path are a deterministic
 function of the costs alone, and the reported parallel speedup —
 ``total work / critical path`` — is the makespan speedup of that
 schedule, which real hardware approaches when it has the cores.
+
+:func:`simulate_stream` is the streaming-scheduler analogue
+(:mod:`repro.exec.stream`): an event-driven replay that additionally
+models per-chunk *ready times* (a chunk may arrive mid-run, e.g. when a
+downstream stage's work is produced by an upstream one) and *work
+stealing* (an idle worker takes the tail half of the most-loaded
+worker's unstarted tasks). It is the limit the real scheduler's
+cancel-and-split steal policy approaches at task granularity, and —
+like the greedy replay — a pure function of the costs, so exec metrics
+stay byte-identical between identical runs no matter how the actual
+pool interleaved.
 """
+
+import heapq
+
+from repro.exec.config import ExecConfigError
 
 
 class Schedule:
@@ -52,6 +67,14 @@ def simulate_schedule(costs, max_workers, chunk_size):
     worker index), mirroring a FIFO queue where every task is ready at
     time zero. Returns a :class:`Schedule`.
     """
+    if max_workers < 1:
+        raise ExecConfigError(
+            "simulate_schedule needs max_workers >= 1, got %d" % max_workers
+        )
+    if chunk_size < 1:
+        raise ExecConfigError(
+            "simulate_schedule needs chunk_size >= 1, got %d" % chunk_size
+        )
     busy = [0.0] * max_workers
     assignments = []
     for start in range(0, len(costs), chunk_size):
@@ -60,3 +83,170 @@ def simulate_schedule(costs, max_workers, chunk_size):
         busy[worker] += sum(chunk)
         assignments.extend([worker] * len(chunk))
     return Schedule(max_workers, chunk_size, assignments, busy)
+
+
+class StreamSchedule(Schedule):
+    """Outcome of one simulated streaming run.
+
+    Extends :class:`Schedule` with the stream-specific figures: the
+    makespan accounts for idle gaps (a worker can be starved while a
+    chunk is not ready yet), ``steals`` counts work-stealing events, and
+    ``finish_times`` gives each task's completion time — what
+    selection-order replay of completion events is modeled from.
+    """
+
+    def __init__(self, max_workers, chunk_size, assignments, worker_busy,
+                 makespan, steals, finish_times):
+        super().__init__(max_workers, chunk_size, assignments, worker_busy)
+        self.makespan = makespan
+        self.steals = steals
+        #: Completion time per task, in task order.
+        self.finish_times = list(finish_times)
+
+    @property
+    def critical_path(self):
+        """Makespan of the streamed schedule (idle gaps included)."""
+        return self.makespan
+
+    def __repr__(self):
+        return "StreamSchedule(%d tasks on %d workers, %.2fx, %d steals)" % (
+            len(self.assignments), self.max_workers, self.speedup,
+            self.steals,
+        )
+
+
+def simulate_stream(costs, max_workers, chunk_size, ready_times=None,
+                    steal=True):
+    """Streaming-scheduler replay over consecutive cost chunks.
+
+    Convenience wrapper over :func:`simulate_stream_chunks` chunking
+    ``costs`` exactly as the pools do (``chunk_size`` consecutive
+    tasks); ``ready_times``, when given, is per-task and a chunk becomes
+    ready when its last task has (ready = max over the chunk).
+    """
+    if chunk_size < 1:
+        raise ExecConfigError(
+            "simulate_stream needs chunk_size >= 1, got %d" % chunk_size
+        )
+    chunks = []
+    ready = []
+    for start in range(0, len(costs), chunk_size):
+        chunk = list(costs[start:start + chunk_size])
+        chunks.append(chunk)
+        if ready_times is not None:
+            ready.append(max(ready_times[start:start + chunk_size]))
+    return simulate_stream_chunks(
+        chunks, max_workers,
+        ready_times=ready if ready_times is not None else None,
+        steal=steal, chunk_size=chunk_size,
+    )
+
+
+def simulate_stream_chunks(chunks, max_workers, ready_times=None, steal=True,
+                           chunk_size=None):
+    """Event-driven replay of the streaming scheduler's policy.
+
+    ``chunks`` is a list of cost lists — heterogeneous sizes are fine,
+    which is how interleaved multi-study workloads are modeled (each
+    stage contributes its own chunks to one queue). Chunks enter a FIFO
+    queue at their ``ready_times`` (default: all ready at 0). A free
+    worker takes the earliest-queued ready chunk and runs its tasks
+    consecutively; when the queue is dry, an idle worker steals the tail
+    half of the unstarted tasks of the most-loaded worker (ties break on
+    the lowest worker index). Deterministic: a pure function of the
+    inputs, with all ties broken on (time, worker index).
+
+    Returns a :class:`StreamSchedule` whose ``assignments`` and
+    ``finish_times`` are flat and follow chunk order.
+    """
+    if max_workers < 1:
+        raise ExecConfigError(
+            "simulate_stream needs max_workers >= 1, got %d" % max_workers
+        )
+    if ready_times is None:
+        ready_times = [0.0] * len(chunks)
+    if len(ready_times) != len(chunks):
+        raise ExecConfigError(
+            "ready_times must match chunks: %d != %d"
+            % (len(ready_times), len(chunks))
+        )
+    # Flatten to (flat task index, cost); chunks keep their identity as
+    # (ready, deque of tasks) entries in the FIFO queue.
+    total = sum(len(chunk) for chunk in chunks)
+    assignments = [None] * total
+    finish_times = [0.0] * total
+    busy = [0.0] * max_workers
+    pending = []
+    flat = 0
+    for ready, chunk in zip(ready_times, chunks):
+        tasks = []
+        for cost in chunk:
+            tasks.append((flat, cost))
+            flat += 1
+        if tasks:
+            pending.append([float(ready), tasks])
+    pending.sort(key=lambda entry: entry[0])
+
+    #: Per-worker deque of unstarted (index, cost) tasks.
+    local = [[] for _ in range(max_workers)]
+    steals = 0
+    makespan = 0.0
+    # Worker wake events: (time, worker). Every worker starts free at 0.
+    events = [(0.0, worker) for worker in range(max_workers)]
+    heapq.heapify(events)
+    idle = set()
+
+    def next_task(worker, now):
+        """The next task for ``worker`` at ``now``, or None."""
+        nonlocal steals
+        if local[worker]:
+            return local[worker].pop(0)
+        for entry in pending:
+            if entry[0] <= now:
+                pending.remove(entry)
+                local[worker] = entry[1]
+                return local[worker].pop(0)
+        if steal:
+            victims = [
+                v for v in range(max_workers) if v != worker and local[v]
+            ]
+            if victims:
+                victim = max(
+                    victims,
+                    key=lambda v: (sum(cost for _, cost in local[v]), -v),
+                )
+                count = max(1, len(local[victim]) // 2)
+                local[worker] = local[victim][-count:]
+                del local[victim][-count:]
+                steals += 1
+                return local[worker].pop(0)
+        return None
+
+    while events:
+        now, worker = heapq.heappop(events)
+        task = next_task(worker, now)
+        if task is None:
+            if pending:
+                # Starved but more chunks arrive later: wake at the
+                # earliest future ready time.
+                wake = min(entry[0] for entry in pending)
+                if wake > now:
+                    heapq.heappush(events, (wake, worker))
+                    continue
+            idle.add(worker)
+            continue
+        index, cost = task
+        finish = now + cost
+        assignments[index] = worker
+        finish_times[index] = finish
+        busy[worker] += cost
+        makespan = max(makespan, finish)
+        heapq.heappush(events, (finish, worker))
+        # A completion creates steal opportunities: wake dormant workers.
+        while idle:
+            heapq.heappush(events, (finish, idle.pop()))
+
+    if chunk_size is None:
+        chunk_size = max((len(chunk) for chunk in chunks), default=1)
+    return StreamSchedule(max_workers, chunk_size, assignments, busy,
+                          makespan, steals, finish_times)

@@ -1,0 +1,442 @@
+"""Streaming DAG scheduler: stages flow into consumers as results land.
+
+The barrier pools (:mod:`repro.exec.pool`) hold every downstream step —
+labeling, aggregation, checkpointing, results-DB ingest — hostage to the
+slowest chunk of a study. This module replaces the barrier with a
+streaming scheduler:
+
+- A :class:`StreamStage` is one producer: a list of tasks plus the
+  function that executes them. Its declared consumers are the
+  downstream DAG nodes — *ordered* consumers see ``(index, outcome)``
+  pairs in exact task order (via a prefix-flush buffer, preserving the
+  selection-order aggregation the byte-identity contract depends on),
+  plain consumers see outcomes in completion order (the pools'
+  ``on_result`` semantics: checkpoints and progress reporters).
+- :class:`StreamScheduler` drains any number of stages through one
+  shared worker pool, round-robin interleaving their chunks so a mixed
+  static+dynamic workload keeps every worker busy while one study's
+  straggler runs.
+- **Work stealing**: when the submit queue runs dry and workers idle,
+  the largest still-queued multi-task chunk is cancelled, split in
+  half, and re-dispatched — the tail of a run parallelizes instead of
+  serializing behind one straggler chunk.
+- **Failure repair**: a dead worker (``BrokenProcessPool``) loses its
+  in-flight chunks; the scheduler rebuilds the executor and re-queues
+  each lost chunk, bisecting multi-task chunks so a poisoned task is
+  isolated in ``log2(chunk)`` retries. A single task that keeps killing
+  its worker is quarantined after ``ExecConfig.max_attempts`` failures:
+  the stage's ``on_lost`` hook builds a synthetic outcome (pipelines
+  map it to the ``worker_lost`` drop-taxonomy slug) and the study
+  finishes instead of aborting.
+
+Determinism: per-stage results are delivered to ordered consumers in
+task order no matter how chunks complete, steal, or repair, so study
+results stay byte-identical to the barrier backend at any worker count.
+Execution *metrics* never come from live scheduling — they are replayed
+from :func:`repro.exec.schedule.simulate_stream_chunks` over measured
+task costs (see :meth:`StreamScheduler.simulate`), so steal counts,
+worker attribution and critical paths are pure functions of the costs.
+"""
+
+import concurrent.futures
+import contextlib
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import WorkerLostError, error_slug
+from repro.exec.config import BACKEND_PROCESS
+from repro.exec.pool import _pool_context, process_backend_available
+from repro.exec.schedule import StreamSchedule, simulate_stream_chunks
+
+#: Drop-taxonomy slug quarantined tasks surface under.
+WORKER_LOST_SLUG = error_slug(WorkerLostError)
+
+
+def stage_schedule_view(config, assignments, costs, schedule):
+    """A per-stage Schedule view over a (possibly shared) streamed schedule.
+
+    Interleaved studies share one simulated schedule; each study's run
+    report should still attribute only its *own* worker-busy time, while
+    the makespan and steal count are genuinely shared figures.
+    """
+    busy = [0.0] * config.max_workers
+    for worker, cost in zip(assignments, costs):
+        busy[worker] += cost
+    return StreamSchedule(config.max_workers, config.chunk_size,
+                          assignments, busy, schedule.makespan,
+                          schedule.steals, [])
+
+
+class OrderedFlush:
+    """Deliver ``(position, value)`` pushes to a callback in order.
+
+    Out-of-order completions are buffered; every push flushes the
+    longest contiguous prefix. This is the piece that lets aggregation
+    consume a stream without giving up selection-order determinism.
+    """
+
+    def __init__(self, callback):
+        self.callback = callback
+        self.next = 0
+        self._buffer = {}
+
+    def push(self, position, value):
+        self._buffer[position] = value
+        while self.next in self._buffer:
+            self.callback(self.next, self._buffer.pop(self.next))
+            self.next += 1
+
+    @property
+    def buffered(self):
+        """Out-of-order results currently held back."""
+        return len(self._buffer)
+
+
+class StreamStage:
+    """One producer stage and its declared downstream consumers.
+
+    ``fn`` maps a single task to an outcome and must be picklable for
+    the process backend. ``on_lost`` maps a task to a synthetic outcome
+    when the task is quarantined after repeated worker death; without
+    one, quarantine raises :class:`~repro.errors.WorkerLostError`.
+    ``chunk_size`` overrides the scheduler config's chunk size for this
+    stage (per-app crawl shards ride one per dispatch, static tasks ride
+    eight). ``context`` is an optional zero-argument context-manager
+    factory the scheduler enters around every inline task execution and
+    every consumer delivery for this stage — how a study keeps its own
+    tracer/log context active per event while sharing the scheduler
+    with another study, instead of holding a contextvar across the
+    interleaved run.
+    """
+
+    def __init__(self, name, tasks, fn, on_lost=None, chunk_size=None,
+                 context=None):
+        self.name = name
+        self.tasks = list(tasks)
+        self.fn = fn
+        self.on_lost = on_lost
+        self.chunk_size = chunk_size
+        self.context = context
+        self._ordered = []
+        self._sinks = []
+
+    def consume_ordered(self, callback):
+        """Register ``callback(index, outcome)``, called in task order."""
+        self._ordered.append(callback)
+        return self
+
+    def consume(self, callback):
+        """Register ``callback(outcome)``, called in completion order."""
+        if callback is not None:
+            self._sinks.append(callback)
+        return self
+
+    def _enter(self):
+        if self.context is None:
+            return contextlib.nullcontext()
+        return self.context()
+
+
+def _run_stream_chunk(fn, tasks):
+    """Process-pool entry point: run one chunk of one stage's tasks."""
+    return [fn(task) for task in tasks]
+
+
+class _Chunk:
+    """A dispatchable slice of one stage's tasks, with repair history."""
+
+    __slots__ = ("stage", "indices", "attempts")
+
+    def __init__(self, stage, indices, attempts=0):
+        self.stage = stage
+        self.indices = indices
+        self.attempts = attempts
+
+    def split(self):
+        mid = len(self.indices) // 2
+        return (
+            _Chunk(self.stage, self.indices[:mid], self.attempts),
+            _Chunk(self.stage, self.indices[mid:], self.attempts),
+        )
+
+
+class _StageState:
+    """Per-stage delivery bookkeeping inside one scheduler run."""
+
+    __slots__ = ("stage", "results", "flush")
+
+    def __init__(self, stage):
+        self.stage = stage
+        self.results = [None] * len(stage.tasks)
+        self.flush = OrderedFlush(self._flush_ordered)
+
+    def _flush_ordered(self, index, outcome):
+        with self.stage._enter():
+            for callback in self.stage._ordered:
+                callback(index, outcome)
+
+
+class StreamScheduler:
+    """Drain every stage's tasks through one shared worker pool.
+
+    ``config`` is an :class:`~repro.exec.ExecConfig`; its worker count,
+    window, backend and ``max_attempts`` govern the whole run, while
+    each stage may pin its own chunk size. After :meth:`run`,
+    ``chunk_plan`` records the initial dispatch order (the input to
+    :meth:`simulate`), and ``repaired_chunks`` / ``quarantined_tasks`` /
+    ``steal_attempts`` count what the repair and steal machinery
+    actually did (fault- and timing-dependent, so they feed run-report
+    counters but never the deterministic schedule metrics).
+    """
+
+    def __init__(self, config, log=None):
+        self.config = config
+        self.log = log
+        #: Initial dispatch order: (stage index, task indices) pairs.
+        self.chunk_plan = []
+        self.repaired_chunks = 0
+        self.quarantined_tasks = 0
+        self.steal_attempts = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, stages):
+        """Execute every stage; returns per-stage outcome lists.
+
+        The return value is a list aligned with ``stages``; entry *i* is
+        ``stages[i]``'s outcomes in task order.
+        """
+        stages = list(stages)
+        states = [_StageState(stage) for stage in stages]
+        queue = self._build_queue(stages)
+        self.chunk_plan = [(chunk.stage, list(chunk.indices))
+                           for chunk in queue]
+        backend = self.config.resolved_backend
+        if backend == BACKEND_PROCESS and not process_backend_available():
+            if self.log is not None:
+                self.log.warning("process_backend_unavailable",
+                                 fallback="inline")
+            backend = None
+        if backend == BACKEND_PROCESS:
+            self._run_process(stages, states, queue)
+        else:
+            self._run_inline(stages, states, queue)
+        for state in states:
+            missing = [i for i, out in enumerate(state.results) if out is None]
+            if missing:
+                raise WorkerLostError(
+                    "stage %r finished with undelivered tasks %r"
+                    % (state.stage.name, missing[:5])
+                )
+        return [state.results for state in states]
+
+    def simulate(self, stage_costs):
+        """Deterministic schedule replay of this run's dispatch order.
+
+        ``stage_costs`` is one cost list per stage (task order). Returns
+        ``(schedule, assignments)`` where ``schedule`` is the
+        :class:`~repro.exec.schedule.StreamSchedule` of the initial
+        chunk plan and ``assignments`` maps each stage index to its
+        per-task worker list — what the pipelines stamp onto outcomes
+        and replayed spans. A pure function of the costs and plan, so
+        exec metrics stay byte-identical between identical runs however
+        the live pool interleaved, stole, or repaired.
+        """
+        chunks = [[stage_costs[stage][i] for i in indices]
+                  for stage, indices in self.chunk_plan]
+        schedule = simulate_stream_chunks(
+            chunks, self.config.max_workers,
+            chunk_size=self.config.chunk_size,
+        )
+        assignments = {stage: [None] * len(costs)
+                       for stage, costs in enumerate(stage_costs)}
+        flat = 0
+        for stage, indices in self.chunk_plan:
+            for index in indices:
+                assignments[stage][index] = schedule.assignments[flat]
+                flat += 1
+        return schedule, assignments
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _build_queue(self, stages):
+        """Round-robin interleave every stage's chunks into one queue."""
+        per_stage = []
+        for position, stage in enumerate(stages):
+            size = stage.chunk_size or self.config.chunk_size
+            per_stage.append([
+                _Chunk(position, list(range(start,
+                                            min(start + size,
+                                                len(stage.tasks)))))
+                for start in range(0, len(stage.tasks), size)
+            ])
+        queue = []
+        for round_index in range(max((len(c) for c in per_stage), default=0)):
+            for chunks in per_stage:
+                if round_index < len(chunks):
+                    queue.append(chunks[round_index])
+        return queue
+
+    def _deliver(self, stages, states, chunk, outcomes):
+        stage = stages[chunk.stage]
+        state = states[chunk.stage]
+        for index, outcome in zip(chunk.indices, outcomes):
+            state.results[index] = outcome
+            if stage._sinks:
+                with stage._enter():
+                    for sink in stage._sinks:
+                        sink(outcome)
+            state.flush.push(index, outcome)
+
+    def _run_inline(self, stages, states, queue):
+        for chunk in queue:
+            stage = stages[chunk.stage]
+            outcomes = []
+            for index in chunk.indices:
+                with stage._enter():
+                    outcomes.append(stage.fn(stage.tasks[index]))
+            self._deliver(stages, states, chunk, outcomes)
+
+    def _run_process(self, stages, states, queue):
+        queue = list(queue)
+        #: Chunks lost to a pool break, awaiting the isolation repair
+        #: pass. A break implicates every in-flight chunk collectively,
+        #: so blame can only be assigned by re-running suspects one at a
+        #: time: the chunk present when the pool breaks *again* is the
+        #: guilty one; everything else succeeds and is delivered.
+        suspects = []
+        executor = self._new_executor()
+        pending = {}
+        try:
+            while queue or pending or suspects:
+                if suspects:
+                    executor = self._isolate(stages, states, suspects,
+                                             executor)
+                    continue
+                try:
+                    while queue and len(pending) < self.config.window:
+                        # Popped only after submit succeeds: a broken
+                        # executor must leave the chunk in the queue for
+                        # the repair pass.
+                        chunk = queue[0]
+                        stage = stages[chunk.stage]
+                        tasks = [stage.tasks[i] for i in chunk.indices]
+                        future = executor.submit(_run_stream_chunk,
+                                                 stage.fn, tasks)
+                        queue.pop(0)
+                        pending[future] = chunk
+                    if not pending:
+                        continue
+                    done, _ = concurrent.futures.wait(
+                        pending,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        chunk = pending[future]
+                        # result() before pop: a chunk whose worker died
+                        # must still be in ``pending`` when the repair
+                        # pass collects the lost chunks.
+                        outcomes = future.result()
+                        del pending[future]
+                        self._deliver(stages, states, chunk, outcomes)
+                    if not queue:
+                        self._try_steal(queue, pending)
+                except BrokenProcessPool:
+                    # Every in-flight chunk died with its worker and the
+                    # executor is unusable. Rebuild it and hand the lost
+                    # chunks to the isolation pass — without assigning
+                    # blame yet, since any one of them may be the killer.
+                    lost = list(pending.values())
+                    pending.clear()
+                    self.repaired_chunks += len(lost)
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._new_executor()
+                    suspects.extend(lost)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _isolate(self, stages, states, suspects, executor):
+        """Re-run one suspect chunk with nothing else in flight.
+
+        Success clears the suspect and delivers its results; a repeat
+        break implicates exactly this chunk, which then bisects toward
+        quarantine via :meth:`_repair`. Returns the (possibly rebuilt)
+        executor.
+        """
+        chunk = suspects.pop(0)
+        stage = stages[chunk.stage]
+        tasks = [stage.tasks[i] for i in chunk.indices]
+        try:
+            outcomes = executor.submit(_run_stream_chunk,
+                                       stage.fn, tasks).result()
+        except BrokenProcessPool:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self._repair(stages, states, chunk, suspects)
+            return self._new_executor()
+        self._deliver(stages, states, chunk, outcomes)
+        return executor
+
+    def _new_executor(self):
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.config.max_workers,
+            mp_context=_pool_context(),
+        )
+
+    # -- stealing and repair -------------------------------------------------
+
+    def _try_steal(self, queue, pending):
+        """Split the largest queued-but-unstarted chunk for idle workers.
+
+        Only attempted when the submit queue is dry and fewer chunks are
+        pending than there are workers — the signature of a straggling
+        tail. ``Future.cancel`` succeeds only for futures the executor
+        has not started, so a running chunk is never disturbed; the
+        reclaimed tasks go back to the front of the queue as two halves
+        and the next submit loop fans them out.
+        """
+        if len(pending) >= self.config.max_workers:
+            return
+        candidates = sorted(
+            (future for future, chunk in pending.items()
+             if len(chunk.indices) > 1),
+            key=lambda future: -len(pending[future].indices),
+        )
+        for future in candidates:
+            if future.cancel():
+                chunk = pending.pop(future)
+                first, second = chunk.split()
+                queue.insert(0, second)
+                queue.insert(0, first)
+                self.steal_attempts += 1
+                return
+
+    def _repair(self, stages, states, chunk, suspects):
+        """One isolated chunk proved guilty: bisect toward quarantine."""
+        stage = stages[chunk.stage]
+        attempts = chunk.attempts + 1
+        if len(chunk.indices) > 1:
+            # Bisect: the poisoned task is cornered in log2(chunk)
+            # isolation rounds while its innocent neighbours succeed on
+            # their first retry.
+            first, second = chunk.split()
+            first.attempts = second.attempts = attempts
+            suspects.insert(0, second)
+            suspects.insert(0, first)
+            self.repaired_chunks += 2
+        elif attempts < self.config.max_attempts:
+            suspects.insert(0, _Chunk(chunk.stage, chunk.indices, attempts))
+            self.repaired_chunks += 1
+        else:
+            index = chunk.indices[0]
+            task = stage.tasks[index]
+            if stage.on_lost is None:
+                raise WorkerLostError(
+                    "task %d of stage %r lost its worker %d times"
+                    % (index, stage.name, attempts)
+                )
+            with stage._enter():
+                outcome = stage.on_lost(task)
+            self.quarantined_tasks += 1
+            if self.log is not None:
+                self.log.warning("task_quarantined", stage=stage.name,
+                                 index=index, attempts=attempts)
+            self._deliver(stages, states, chunk, [outcome])

@@ -58,13 +58,16 @@ from repro.obs.report import (
     EXEC_CACHE_HITS_METRIC,
     EXEC_CACHE_MISSES_METRIC,
     EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CHUNKS_REPAIRED_METRIC,
     EXEC_CLASS_BYTES_DEDUPED_METRIC,
     EXEC_CLASS_CACHE_HITS_METRIC,
     EXEC_CLASS_CACHE_MISSES_METRIC,
     EXEC_CLASS_TIME_SAVED_METRIC,
     EXEC_CRITICAL_PATH_METRIC,
     EXEC_QUEUE_DEPTH_METRIC,
+    EXEC_STEALS_METRIC,
     EXEC_TASKS_METRIC,
+    EXEC_TASKS_QUARANTINED_METRIC,
     EXEC_WORKER_BUSY_METRIC,
     EXEC_WORKERS_METRIC,
     LONGITUDINAL_APPS_METRIC,
@@ -190,6 +193,7 @@ __all__ = [
     "EXEC_CACHE_HITS_METRIC",
     "EXEC_CACHE_MISSES_METRIC",
     "EXEC_CHUNK_SIZE_METRIC",
+    "EXEC_CHUNKS_REPAIRED_METRIC",
     "EXEC_CLASS_BYTES_DEDUPED_METRIC",
     "EXEC_CLASS_CACHE_HITS_METRIC",
     "EXEC_CLASS_CACHE_MISSES_METRIC",
@@ -200,7 +204,9 @@ __all__ = [
     "LONGITUDINAL_RUNS_METRIC",
     "EXEC_CRITICAL_PATH_METRIC",
     "EXEC_QUEUE_DEPTH_METRIC",
+    "EXEC_STEALS_METRIC",
     "EXEC_TASKS_METRIC",
+    "EXEC_TASKS_QUARANTINED_METRIC",
     "EXEC_WORKER_BUSY_METRIC",
     "EXEC_WORKERS_METRIC",
     "Gauge",

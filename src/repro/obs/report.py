@@ -32,6 +32,14 @@ EXEC_CACHE_HITS_METRIC = "repro_exec_cache_hits_total"
 EXEC_CACHE_MISSES_METRIC = "repro_exec_cache_misses_total"
 EXEC_CACHE_EVICTIONS_METRIC = "repro_exec_cache_evictions_total"
 
+#: Streaming-scheduler metrics (repro.exec.stream) and the repair
+#: counters shared with the pooled path: simulated work-steal events,
+#: chunks re-run after worker death, and tasks quarantined into the
+#: drop taxonomy once the retry budget ran out.
+EXEC_STEALS_METRIC = "repro_exec_steals_total"
+EXEC_CHUNKS_REPAIRED_METRIC = "repro_exec_chunks_repaired_total"
+EXEC_TASKS_QUARANTINED_METRIC = "repro_exec_tasks_quarantined_total"
+
 #: Class-level content-addressed cache metrics (repro.exec two-tier
 #: store), accounted deterministically by replaying per-APK digest
 #: streams in selection order — never from worker-local hit counts.
@@ -148,6 +156,16 @@ def _exec_table(obs):
         table.add_row("%s-cache evictions" % tier, int(count))
     table.add_row("queue depth peak",
                   int(registry.value(EXEC_QUEUE_DEPTH_METRIC)))
+    if registry.get(EXEC_STEALS_METRIC) is not None:
+        table.add_row("work steals", int(registry.value(EXEC_STEALS_METRIC)))
+    if registry.get(EXEC_CHUNKS_REPAIRED_METRIC) is not None:
+        table.add_row("chunks repaired",
+                      int(registry.value(EXEC_CHUNKS_REPAIRED_METRIC)))
+    if registry.get(EXEC_TASKS_QUARANTINED_METRIC) is not None:
+        table.add_row(
+            "tasks quarantined",
+            int(registry.value(EXEC_TASKS_QUARANTINED_METRIC)),
+        )
     busy = sum(registry.label_values(EXEC_WORKER_BUSY_METRIC).values())
     critical = registry.value(EXEC_CRITICAL_PATH_METRIC)
     table.add_row("worker busy (clock s)", "%.3f" % busy)

@@ -18,6 +18,7 @@ See DESIGN.md §14 and ``python -m repro.results --help``.
 from repro.results.store import (
     RESULTS_DB_ENV_VAR,
     ResultsStore,
+    prepare_study_row,
 )
 from repro.results.serve import ResultsService
 
@@ -25,4 +26,5 @@ __all__ = [
     "RESULTS_DB_ENV_VAR",
     "ResultsStore",
     "ResultsService",
+    "prepare_study_row",
 ]

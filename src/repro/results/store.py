@@ -236,7 +236,7 @@ class ResultsStore:
     # -- ingest --------------------------------------------------------------
 
     def ingest(self, result, corpus="", options="", snapshot="", git=None,
-               app_name=None):
+               app_name=None, prepared=None):
         """Persist one finished study output; returns ingest_id or None.
 
         Dispatches on type: a
@@ -248,6 +248,12 @@ class ResultsStore:
         re-runs append only genuinely new snapshots. Failed writes are
         logged and swallowed — recording results must never fail the
         study that produced them.
+
+        ``prepared`` (static ingests only) maps package ->
+        :func:`prepare_study_row` output computed earlier — how a
+        streaming study spreads SDK labeling over the run instead of
+        paying it all inside the ingest transaction. Rows are identical
+        with or without it; missing packages are prepared on the spot.
         """
         # Late imports keep repro.results importable without dragging in
         # the full analysis stack at module load.
@@ -255,7 +261,7 @@ class ResultsStore:
         from repro.static_analysis.results import StudyResult
 
         if isinstance(result, StudyResult):
-            writer = _StudyWriter(result)
+            writer = _StudyWriter(result, prepared=prepared)
             kind = "static"
         elif isinstance(result, CrawlResult):
             writer = _CrawlWriter(result)
@@ -382,6 +388,23 @@ class ResultsStore:
 # -- ingest writers -----------------------------------------------------------
 
 
+def prepare_study_row(analysis, labeler):
+    """Precompute one successful app's ingest-row inputs.
+
+    Returns the ``(attribution, nutrition label)`` pair
+    :class:`_StudyWriter` needs per app. Both are pure functions of the
+    analysis, so a streaming study can call this incrementally as
+    outcomes land and hand the accumulated map to
+    :meth:`ResultsStore.ingest` via ``prepared=`` — the ingest
+    transaction then only writes rows, and the stored bytes are
+    identical either way.
+    """
+    from repro.static_analysis.nutrition import build_label
+
+    attribution = analysis.label_sdks(labeler)
+    return attribution, build_label(analysis, attribution)
+
+
 class _StudyWriter:
     """Flattens a StudyResult into outcomes/sdk_labels/method_calls rows.
 
@@ -391,8 +414,9 @@ class _StudyWriter:
     Aggregator derives per app is exactly what gets stored per app.
     """
 
-    def __init__(self, result):
+    def __init__(self, result, prepared=None):
         self.result = result
+        self.prepared = prepared or {}
 
     def items(self):
         return self.result.analyzed
@@ -402,7 +426,6 @@ class _StudyWriter:
 
     def write(self, conn, seq):
         from repro.sdk.labeling import PackageLabel
-        from repro.static_analysis.nutrition import build_label
         from repro.static_analysis.results import RecordedCall
 
         labeler = self.result.labeler
@@ -423,8 +446,10 @@ class _StudyWriter:
                      analysis.failure_reason),
                 )
                 continue
-            attribution = analysis.label_sdks(labeler)
-            label = build_label(analysis, attribution)
+            entry = self.prepared.get(analysis.package)
+            if entry is None:
+                entry = prepare_study_row(analysis, labeler)
+            attribution, label = entry
             conn.execute(
                 "INSERT INTO outcomes (ingest_seq, package, sha256,"
                 " failed, error, uses_webview, uses_customtabs, grade,"

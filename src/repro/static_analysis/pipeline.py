@@ -31,6 +31,7 @@ class-cache metrics are accounted by a deterministic selection-order
 replay, never from scheduling-dependent worker-local counts.
 """
 
+import contextlib
 import datetime
 import functools
 import time
@@ -47,9 +48,14 @@ from repro.exec import (
     BACKEND_PROCESS,
     ClassFactsCache,
     ExecConfig,
+    OrderedFlush,
+    StreamScheduler,
+    StreamStage,
+    WORKER_LOST_SLUG,
     chain_results,
     make_pool,
     simulate_schedule,
+    stage_schedule_view,
 )
 from repro.obs import (
     APPS_ANALYZED_METRIC,
@@ -60,13 +66,16 @@ from repro.obs import (
     EXEC_CACHE_HITS_METRIC,
     EXEC_CACHE_MISSES_METRIC,
     EXEC_CHUNK_SIZE_METRIC,
+    EXEC_CHUNKS_REPAIRED_METRIC,
     EXEC_CLASS_BYTES_DEDUPED_METRIC,
     EXEC_CLASS_CACHE_HITS_METRIC,
     EXEC_CLASS_CACHE_MISSES_METRIC,
     EXEC_CLASS_TIME_SAVED_METRIC,
     EXEC_CRITICAL_PATH_METRIC,
     EXEC_QUEUE_DEPTH_METRIC,
+    EXEC_STEALS_METRIC,
     EXEC_TASKS_METRIC,
+    EXEC_TASKS_QUARANTINED_METRIC,
     EXEC_WORKER_BUSY_METRIC,
     EXEC_WORKERS_METRIC,
     Span,
@@ -387,6 +396,10 @@ class StaticAnalysisPipeline:
         #: worker spans replay under the right parent (see
         #: :meth:`_replay_worker_spans`).
         self._execute_span = None
+        #: Streaming runs replay worker spans before the deterministic
+        #: schedule exists; the replayed roots park here (by selection
+        #: position) until :meth:`_assign_workers` stamps them.
+        self._replayed_roots = {}
         if cache is None:
             cache = getattr(corpus, "analysis_cache", None)
         self.cache = cache if cache is not None else AnalysisCache()
@@ -470,23 +483,51 @@ class StaticAnalysisPipeline:
 
     def run(self, max_apps=None, progress=None):
         """Run the full study; returns a :class:`StudyResult`."""
+        if self.exec_config.streaming:
+            return self.run_streaming(max_apps, progress)
         with self.obs.activate(), \
                 bind_context(stage="static",
                              snapshot=str(self.snapshot_date)), \
                 self.obs.span("run") as run_span:
             return self._run(max_apps, progress, run_span)
 
-    def _run(self, max_apps, progress, run_span):
+    def run_streaming(self, max_apps=None, progress=None):
+        """Run the study on the streaming scheduler (same result bytes).
+
+        Aggregation, checkpointing and progress consume outcomes as
+        they land instead of waiting for the pool barrier; see
+        :mod:`repro.exec.stream` and DESIGN.md §Streaming scheduler.
+        """
+        plan = self.stream_plan(max_apps=max_apps, progress=progress)
+        scheduler = StreamScheduler(self.exec_config, log=self.log)
+        scheduler.run([plan.stage])
+        return plan.finalize(scheduler)
+
+    def stream_plan(self, max_apps=None, progress=None):
+        """Open a streaming run and return its :class:`PipelineStreamPlan`.
+
+        The plan holds the study's ``run``/``execute`` spans open on its
+        own tracer (no ambient contextvar, so several plans can share
+        one :class:`~repro.exec.StreamScheduler`), exposes ``stage`` for
+        the scheduler, and ``finalize(scheduler)`` closes the run.
+        """
+        return PipelineStreamPlan(self, max_apps=max_apps, progress=progress)
+
+    def _select_for_run(self, max_apps):
+        """Steps (1)-(2) plus the funnel-annotated result shell."""
         selected, funnel = self.select_apps()
         if max_apps is not None and len(selected) > max_apps:
             self._drop(DROP_NOT_PROCESSED, len(selected) - max_apps)
             selected = selected[:max_apps]
-
         result = StudyResult(self.labeler)
         result.androzoo_play_apps = funnel["androzoo_play_apps"]
         result.found_on_play = funnel["found_on_play"]
         result.popular = funnel["with_100k_downloads"]
         result.selected = funnel["updated_after_2021"]
+        return selected, result
+
+    def _run(self, max_apps, progress, run_span):
+        selected, result = self._select_for_run(max_apps)
 
         evictions_before = (self.cache.evictions,
                             self.cache.classes.evictions)
@@ -515,10 +556,33 @@ class StaticAnalysisPipeline:
         selection order; cache hits and download failures short-circuit
         without touching the pool.
         """
-        fingerprint = self.options.cache_key()
         class_enabled = self.exec_config.class_cache
         prior_digests = (self.cache.classes.known_digests()
                          if class_enabled else ())
+        outcomes, tasks = self._prepare(selected)
+        executed = self._run_tasks(tasks)
+        schedule = simulate_schedule([o.cost for o in executed],
+                                     self.exec_config.max_workers,
+                                     self.exec_config.chunk_size)
+        for outcome, worker in zip(executed, schedule.assignments):
+            outcome.worker = worker
+            if outcome.span is not None:
+                outcome.span.set_attribute("worker", "w%d" % worker)
+            outcomes[outcome.position] = outcome
+        self._record_exec_metrics(outcomes, len(tasks), schedule)
+        if class_enabled:
+            self._record_class_metrics(outcomes, prior_digests)
+        return outcomes
+
+    def _prepare(self, selected):
+        """Cache/download short-circuits plus the worker task list.
+
+        Returns ``(outcomes, tasks)``: ``outcomes`` is the
+        selection-order result list pre-filled at every short-circuited
+        position (None where a task must run), ``tasks`` the
+        :class:`AnalysisTask` list for the pool or stream stage.
+        """
+        fingerprint = self.options.cache_key()
         outcomes = [None] * len(selected)
         tasks = []
         for position, (row, listing) in enumerate(selected):
@@ -545,20 +609,7 @@ class StaticAnalysisPipeline:
             tasks.append(AnalysisTask(position, row.sha256, row.package,
                                       data, listing.category,
                                       listing.installs))
-
-        executed = self._run_tasks(tasks)
-        schedule = simulate_schedule([o.cost for o in executed],
-                                     self.exec_config.max_workers,
-                                     self.exec_config.chunk_size)
-        for outcome, worker in zip(executed, schedule.assignments):
-            outcome.worker = worker
-            if outcome.span is not None:
-                outcome.span.set_attribute("worker", "w%d" % worker)
-            outcomes[outcome.position] = outcome
-        self._record_exec_metrics(outcomes, len(tasks), schedule)
-        if class_enabled:
-            self._record_class_metrics(outcomes, prior_digests)
-        return outcomes
+        return outcomes, tasks
 
     def _run_tasks(self, tasks):
         """Map the analysis over the configured pool, in task order."""
@@ -582,7 +633,13 @@ class StaticAnalysisPipeline:
             if hasattr(self.progress_hook, "begin"):
                 self.progress_hook.begin(len(tasks))
             on_result = chain_results(self.checkpoint, self.progress_hook)
-            return pool.map(tasks, fn, on_result=on_result)
+            executed = pool.map(tasks, fn, on_result=on_result)
+        if pool.repaired_chunks:
+            self.obs.counter(
+                EXEC_CHUNKS_REPAIRED_METRIC,
+                "Chunks re-run after losing their worker mid-flight.",
+            ).inc(pool.repaired_chunks)
+        return executed
 
     def _inline_task(self, settings, task):
         """In-process execution path: trace into the study tracer."""
@@ -652,6 +709,12 @@ class StaticAnalysisPipeline:
             root = Span.from_dict(data)
             if outcome.worker is not None:
                 root.set_attribute("worker", "w%d" % outcome.worker)
+            else:
+                # Streaming runs aggregate before the deterministic
+                # schedule exists; park the root until finalize stamps
+                # worker attribution post-hoc.
+                self._replayed_roots.setdefault(outcome.position,
+                                                []).append(root)
             parent = self._execute_span or tracer.current()
             if parent is not None:
                 parent.children.append(root)
@@ -660,6 +723,78 @@ class StaticAnalysisPipeline:
             if tracer.on_span_end is not None:
                 for span in root.iter_spans():
                     tracer.on_span_end(span)
+
+    # -- streaming execution -------------------------------------------------
+
+    def _stage_context(self):
+        """Per-event ambient context for streamed deliveries.
+
+        The streaming scheduler interleaves several studies' events, so
+        no study may hold its tracer/log context across the run; this
+        context manager is entered around every task and delivery
+        instead.
+        """
+        @contextlib.contextmanager
+        def enter():
+            with self.obs.activate(), \
+                    bind_context(stage="static",
+                                 snapshot=str(self.snapshot_date)):
+                yield
+        return enter
+
+    def _task_fn(self):
+        """The per-task callable for this config's resolved backend."""
+        settings = _WorkerSettings(
+            self.options,
+            real_clock=not isinstance(self.obs.clock, TickClock),
+            class_cache=self.exec_config.class_cache,
+        )
+        if self.exec_config.resolved_backend == BACKEND_PROCESS:
+            return functools.partial(_run_analysis_task, settings)
+        return functools.partial(self._inline_task, settings)
+
+    def _lost_task(self, task):
+        """Quarantine outcome for a task whose workers kept dying."""
+        message = "worker lost after %d attempts" % \
+            self.exec_config.max_attempts
+        analysis = AppAnalysis(task.package, category=task.category,
+                               installs=task.installs)
+        analysis.failed = True
+        analysis.failure_reason = message
+        outcome = AnalysisOutcome(task.position, task.sha256, task.package,
+                                  analysis, WORKER_LOST_SLUG, message)
+        outcome.cacheable = False  # retried on the next run
+        return outcome
+
+    def _assign_workers(self, executed, workers):
+        """Stamp deterministic worker attribution onto streamed outcomes."""
+        for outcome, worker in zip(executed, workers):
+            outcome.worker = worker
+            label = "w%d" % worker
+            if outcome.span is not None:
+                outcome.span.set_attribute("worker", label)
+            for root in self._replayed_roots.pop(outcome.position, ()):
+                root.set_attribute("worker", label)
+
+    def _record_stream_metrics(self, scheduler, schedule):
+        """Scheduler health counters for the run report.
+
+        Steals come from the deterministic schedule replay; repair and
+        quarantine counts are what the live repair pass actually did
+        (nonzero only under worker faults).
+        """
+        self.obs.counter(
+            EXEC_STEALS_METRIC,
+            "Work-steal events in the simulated streamed schedule.",
+        ).inc(schedule.steals)
+        self.obs.counter(
+            EXEC_CHUNKS_REPAIRED_METRIC,
+            "Chunks re-run after losing their worker mid-flight.",
+        ).inc(scheduler.repaired_chunks)
+        self.obs.counter(
+            EXEC_TASKS_QUARANTINED_METRIC,
+            "Tasks dropped as worker_lost after the retry budget.",
+        ).inc(scheduler.quarantined_tasks)
 
     def _record_exec_metrics(self, outcomes, task_count, schedule):
         """Deterministic execution metrics for the run report."""
@@ -765,3 +900,110 @@ class StaticAnalysisPipeline:
             counter.labels(tier="apk").inc(apk_delta)
         if class_delta:
             counter.labels(tier="class").inc(class_delta)
+
+
+class PipelineStreamPlan:
+    """One static study's opened streaming run.
+
+    Created by :meth:`StaticAnalysisPipeline.stream_plan`. Selection and
+    download happen eagerly; the per-app analysis waits in ``stage`` for
+    a :class:`~repro.exec.StreamScheduler` (shared with other studies'
+    stages when interleaving). Aggregation, checkpointing and progress
+    run incrementally as outcomes stream in — in exact selection order
+    via the prefix-flush buffer, so the result is byte-identical to the
+    barrier path. The ``run``/``execute`` spans are held open on the
+    study's own tracer (never via an ambient contextvar) and closed by
+    :meth:`finalize`.
+    """
+
+    def __init__(self, pipeline, max_apps=None, progress=None):
+        self.pipeline = pipeline
+        self.progress = progress
+        #: Executed outcomes in task order (quarantined ones included).
+        self.executed = []
+        self._ctx = pipeline._stage_context()
+        pipeline._replayed_roots.clear()
+        with self._ctx():
+            self._run_cm = pipeline.obs.span("run")
+            self.run_span = self._run_cm.__enter__()
+            self.selected, self.result = pipeline._select_for_run(max_apps)
+            self.fingerprint = pipeline.options.cache_key()
+            self.class_enabled = pipeline.exec_config.class_cache
+            self.prior_digests = (pipeline.cache.classes.known_digests()
+                                  if self.class_enabled else ())
+            self.evictions_before = (pipeline.cache.evictions,
+                                     pipeline.cache.classes.evictions)
+            self.outcomes, tasks = pipeline._prepare(self.selected)
+            self._flush = OrderedFlush(self._consume)
+            self.stage = StreamStage(
+                "static", tasks, pipeline._task_fn(),
+                on_lost=pipeline._lost_task,
+                chunk_size=pipeline.exec_config.chunk_size,
+                context=self._ctx,
+            )
+            self.stage.consume_ordered(self._on_ordered)
+            self.stage.consume(chain_results(pipeline.checkpoint,
+                                             pipeline.progress_hook))
+            self._execute_cm = pipeline.obs.span(
+                "execute", backend=pipeline.exec_config.resolved_backend,
+                workers=pipeline.exec_config.max_workers, tasks=len(tasks),
+            )
+            self.execute_span = self._execute_cm.__enter__()
+            pipeline._execute_span = self.execute_span
+            if hasattr(pipeline.progress_hook, "begin"):
+                pipeline.progress_hook.begin(len(tasks))
+            # Short-circuited positions (cache hits, download failures)
+            # flow through the same ordered flush so aggregation sees
+            # one selection-order stream.
+            for outcome in self.outcomes:
+                if outcome is not None:
+                    self._flush.push(outcome.position, outcome)
+
+    def _on_ordered(self, index, outcome):
+        self.executed.append(outcome)
+        self._flush.push(outcome.position, outcome)
+
+    def _consume(self, position, outcome):
+        self.pipeline._aggregate(self.result, outcome, self.fingerprint)
+        if self.progress is not None and (position + 1) % 200 == 0:
+            self.progress(position + 1, len(self.selected))
+
+    def costs(self):
+        """Measured per-task costs, in task order (the simulate input)."""
+        return [outcome.cost for outcome in self.executed]
+
+    def finalize(self, scheduler, schedule=None, assignments=None):
+        """Close the run: schedule replay, metrics, spans. Returns result.
+
+        ``schedule``/``assignments`` come from the caller for
+        interleaved runs (one shared simulation across stages); left at
+        None, the plan simulates its own single-stage schedule.
+        """
+        pipeline = self.pipeline
+        with self._ctx():
+            self._execute_cm.__exit__(None, None, None)
+            for outcome in self.executed:
+                self.outcomes[outcome.position] = outcome
+            if schedule is None:
+                schedule, per_stage = scheduler.simulate([self.costs()])
+                assignments = per_stage[0]
+            pipeline._assign_workers(self.executed, assignments)
+            view = stage_schedule_view(pipeline.exec_config, assignments,
+                                       self.costs(), schedule)
+            pipeline._record_exec_metrics(self.outcomes,
+                                          len(self.stage.tasks), view)
+            pipeline._record_stream_metrics(scheduler, schedule)
+            if self.class_enabled:
+                pipeline._record_class_metrics(self.outcomes,
+                                               self.prior_digests)
+            pipeline._record_eviction_metrics(self.evictions_before)
+            self.run_span.set_attribute("analyzed", self.result.analyzed)
+            self.run_span.set_attribute("broken", self.result.broken)
+            self.run_span.set_attribute("workers",
+                                        pipeline.exec_config.max_workers)
+            pipeline.log.info("run_complete", analyzed=self.result.analyzed,
+                              broken=self.result.broken,
+                              selected=len(self.selected),
+                              workers=pipeline.exec_config.max_workers)
+            self._run_cm.__exit__(None, None, None)
+        return self.result

@@ -75,6 +75,7 @@ class TestDropReasonSlugs:
             "js_syntax",
             "manifest",
             "repository",
+            "worker_lost",
         }
 
     def test_slug_maps_back_to_leaf_class(self):

@@ -1,5 +1,8 @@
 """Tests for the parallel-execution layer (repro.exec)."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.exec import (
@@ -14,7 +17,12 @@ from repro.exec import (
     InlinePool,
     MAX_WORKERS_ENV_VAR,
     ProcessPool,
+    RETRIES_ENV_VAR,
+    STREAMING_ENV_VAR,
+    WINDOW_ENV_VAR,
+    chain_results,
     make_pool,
+    process_backend_available,
     simulate_schedule,
 )
 
@@ -58,6 +66,40 @@ class TestExecConfig:
         with pytest.raises(ExecConfigError):
             ExecConfig(backend="threads")
         monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ExecConfigError):
+            ExecConfig()
+
+    def test_window_env_override(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_ENV_VAR, "5")
+        assert ExecConfig(max_workers=3).window == 5
+
+    def test_window_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_ENV_VAR, "5")
+        assert ExecConfig(max_workers=3, window=9).window == 9
+
+    def test_window_validation(self, monkeypatch):
+        with pytest.raises(ExecConfigError):
+            ExecConfig(window=0)
+        monkeypatch.setenv(WINDOW_ENV_VAR, "0")
+        with pytest.raises(ExecConfigError):
+            ExecConfig()
+        monkeypatch.setenv(WINDOW_ENV_VAR, "wide")
+        with pytest.raises(ExecConfigError):
+            ExecConfig()
+
+    def test_streaming_env_flag(self, monkeypatch):
+        monkeypatch.setenv(STREAMING_ENV_VAR, "1")
+        assert ExecConfig().streaming is True
+        monkeypatch.setenv(STREAMING_ENV_VAR, "off")
+        assert ExecConfig().streaming is False
+        monkeypatch.setenv(STREAMING_ENV_VAR, "sometimes")
+        with pytest.raises(ExecConfigError):
+            ExecConfig()
+
+    def test_retries_env_and_validation(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV_VAR, "5")
+        assert ExecConfig().max_attempts == 5
+        monkeypatch.setenv(RETRIES_ENV_VAR, "0")
         with pytest.raises(ExecConfigError):
             ExecConfig()
 
@@ -111,6 +153,12 @@ class TestSimulateSchedule:
     def test_chunks_stay_together(self):
         schedule = simulate_schedule([1.0, 1.0, 1.0, 1.0], 2, 2)
         assert schedule.assignments == [0, 0, 1, 1]
+
+    def test_rejects_invalid_worker_and_chunk_counts(self):
+        with pytest.raises(ExecConfigError):
+            simulate_schedule([1.0], 0, 1)
+        with pytest.raises(ExecConfigError):
+            simulate_schedule([1.0], 2, 0)
 
     def test_serial_schedule_has_no_speedup(self):
         schedule = simulate_schedule([1.0, 2.0, 3.0], 1, 2)
@@ -171,3 +219,111 @@ class TestWorkerPools:
         )
         assert pool.name == BACKEND_INLINE
         assert events == ["process_backend_unavailable"]
+
+
+def _die_in_worker(value):
+    # Simulated worker death: os._exit skips all exception machinery, so
+    # the executor sees only a vanished process (BrokenProcessPool). The
+    # parent-process guard makes the same task succeed when the repair
+    # pass re-runs it inline.
+    if value == 13 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return value * value
+
+
+@pytest.mark.skipif(not process_backend_available(),
+                    reason="process pools unavailable on this platform")
+class TestProcessPoolRepair:
+    def test_worker_death_repaired_without_aborting(self):
+        config = ExecConfig(max_workers=2, chunk_size=2,
+                            backend=BACKEND_PROCESS)
+        pool = ProcessPool(config)
+        seen = []
+        values = list(range(20))
+        results = pool.map(values, _die_in_worker, on_result=seen.append)
+        assert results == [v * v for v in values]
+        assert pool.repaired_chunks >= 1
+        # Every result was also delivered through the on_result hook,
+        # including the ones from repaired chunks.
+        assert sorted(seen) == sorted(results)
+
+    def test_inline_pool_never_repairs(self):
+        pool = InlinePool(ExecConfig(max_workers=1))
+        assert pool.map([1, 2], _square) == [1, 4]
+        assert pool.repaired_chunks == 0
+
+
+class _RecordingHook:
+    """An on_result hook that also wants the expected total via begin()."""
+
+    def __init__(self):
+        self.begun = []
+        self.values = []
+
+    def begin(self, total):
+        self.begun.append(total)
+
+    def __call__(self, value):
+        self.values.append(value)
+
+
+class TestChainResults:
+    def test_all_nones_collapse_to_none(self):
+        assert chain_results() is None
+        assert chain_results(None, None) is None
+
+    def test_single_survivor_passes_through_unwrapped(self):
+        hook = _RecordingHook()
+        assert chain_results(None, hook, None) is hook
+
+    def test_fanout_delivers_to_every_hook(self):
+        values = []
+        hook = _RecordingHook()
+        chained = chain_results(values.append, None, hook)
+        chained(3)
+        chained(4)
+        assert values == [3, 4]
+        assert hook.values == [3, 4]
+
+    def test_begin_forwarding_with_mixed_hooks(self):
+        # Plain callables have no begin(); the chain still grows one that
+        # reaches every hook that does.
+        plain = []
+        first = _RecordingHook()
+        second = _RecordingHook()
+        chained = chain_results(plain.append, first, second)
+        chained.begin(7)
+        assert first.begun == [7]
+        assert second.begun == [7]
+
+    def test_no_begin_when_no_hook_wants_one(self):
+        sink_a, sink_b = [], []
+        chained = chain_results(sink_a.append, sink_b.append)
+        assert not hasattr(chained, "begin")
+
+    def test_chained_hooks_on_inline_pool(self):
+        pool = InlinePool(ExecConfig(max_workers=1))
+        values = []
+        hook = _RecordingHook()
+        results = pool.map([1, 2, 3], _square,
+                           on_result=chain_results(values.append, hook))
+        assert results == [1, 4, 9]
+        assert values == [1, 4, 9]
+        assert hook.values == [1, 4, 9]
+
+    @pytest.mark.skipif(not process_backend_available(),
+                        reason="process pools unavailable on this platform")
+    def test_chained_hooks_on_process_pool(self):
+        config = ExecConfig(max_workers=2, chunk_size=2,
+                            backend=BACKEND_PROCESS)
+        values = []
+        hook = _RecordingHook()
+        results = ProcessPool(config).map(
+            list(range(9)), _square,
+            on_result=chain_results(values.append, hook),
+        )
+        assert results == [v * v for v in range(9)]
+        # Completion order may differ from input order, but every result
+        # reaches both hooks exactly once, in the same interleaving.
+        assert sorted(values) == sorted(results)
+        assert hook.values == values
