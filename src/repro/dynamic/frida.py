@@ -99,6 +99,32 @@ class FridaSession:
                 names.append(call.args[0].name)
         return names
 
+    def injected_bridge_methods(self):
+        """Bridge name -> tuple of exposed method names, from the bridge
+        objects passed to ``addJavascriptInterface``.
+
+        Ordering is deterministic: bridges appear in registration order
+        and methods in the order the bridge object declares them. A
+        bridge with no declared methods still exposes the opaque
+        ``postMessage`` sink (mirroring
+        :meth:`~repro.dynamic.webview_runtime.JsBridge.as_js_object`),
+        so the attacker model always has something to probe.
+        """
+        methods = {}
+        for call in self.calls_to("addJavascriptInterface"):
+            if not call.args:
+                continue
+            bridge = call.args[0]
+            if len(call.args) >= 2:
+                name = call.args[1]
+            elif hasattr(bridge, "name"):
+                name = bridge.name
+            else:
+                continue
+            exposed = tuple(getattr(bridge, "methods", None) or ())
+            methods[name] = exposed if exposed else ("postMessage",)
+        return methods
+
     @property
     def performed_injection(self):
         return bool(self.injected_scripts() or self.injected_bridges())

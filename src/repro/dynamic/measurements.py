@@ -27,6 +27,7 @@ class IabMeasurement:
         self.runtime = None
         self.injected_scripts = []
         self.injected_bridges = []
+        self.injected_bridge_methods = {}
         self.webapi_pairs = []
         self.netlog_hosts = []
         self.console_log = []
@@ -67,6 +68,17 @@ class IabMeasurement:
         ("googleads", "Google Ads."),
     )
 
+    # Exposed-method-name heuristics, consulted when the bridge *name*
+    # itself is opaque. ``postMessage`` is deliberately absent: every
+    # opaque bridge exposes it, so it carries no intent signal.
+    _METHOD_MARKERS = (
+        ("payment", "Facebook Pay."),
+        ("checkout", "Meta Checkout."),
+        ("autofill", "AutofillExtensions."),
+        ("notify", "Google Ads."),
+        ("adview", "Google Ads."),
+    )
+
     def inferred_script_intents(self):
         """Read the injected JS like the paper's analysts did."""
         if not self.performed_js_injection:
@@ -95,11 +107,25 @@ class IabMeasurement:
                     matched = description
                     break
             if matched is None:
+                # The name tells us nothing — fall back to the exposed
+                # method list (captured by the Frida hooks) before
+                # writing the bridge off as obfuscated.
+                matched = self._intent_from_methods(name)
+            if matched is None:
                 # Short opaque names read as obfuscated (Pinterest's case).
                 matched = "(Obfuscated)" if len(name) <= 3 else name
             if matched not in intents:
                 intents.append(matched)
         return intents
+
+    def _intent_from_methods(self, bridge_name):
+        """Classify an opaquely-named bridge by its exposed methods."""
+        for method in self.injected_bridge_methods.get(bridge_name, ()):
+            lowered = method.lower()
+            for needle, description in self._METHOD_MARKERS:
+                if needle in lowered:
+                    return description
+        return None
 
     def __repr__(self):
         return "IabMeasurement(%s, js=%d bridges=%d webapi=%d)" % (
@@ -137,6 +163,7 @@ class IabMeasurementHarness:
         measurement.runtime = runtime
         measurement.injected_scripts = frida.injected_scripts()
         measurement.injected_bridges = frida.injected_bridges()
+        measurement.injected_bridge_methods = frida.injected_bridge_methods()
         measurement.webapi_pairs = runtime.recorder.pairs()
         measurement.netlog_hosts = runtime.netlog.hosts()
         if runtime._interpreter is not None:

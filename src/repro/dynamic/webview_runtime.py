@@ -20,6 +20,9 @@ from repro.web.jsengine import (
     JsObject,
     NativeFunction,
     UNDEFINED,
+    taint_enabled,
+    taint_sink,
+    taint_wrap,
     to_string,
 )
 from repro.web.webapi import WebApiRecorder
@@ -44,14 +47,27 @@ class JsBridge:
         obj = JsObject()
         for method_name, fn in self.methods.items():
             def wrapper(args, this, _name=method_name, _fn=fn):
+                if taint_enabled():
+                    # Bridge arguments are a sink (data crossing from
+                    # page JS into app/Java code) and bridge returns a
+                    # source (app state flowing into the page).
+                    taint_sink(("bridge_arg", self.name, _name), *args)
                 self.invocations.append((_name, [to_string(a) for a in args]))
                 result = _fn(*args) if _fn is not None else None
-                return result if result is not None else UNDEFINED
+                if result is None:
+                    return UNDEFINED
+                if taint_enabled():
+                    result = taint_wrap(
+                        result, {("bridge_ret", self.name, _name)})
+                return result
             obj.set(method_name, NativeFunction(
                 "%s.%s" % (self.name, method_name), wrapper))
         if not self.methods:
             # An opaque (e.g. obfuscated) bridge still accepts anything.
             def sink(args, this):
+                if taint_enabled():
+                    taint_sink(("bridge_arg", self.name, "postMessage"),
+                               *args)
                 self.invocations.append(("postMessage",
                                          [to_string(a) for a in args]))
                 return UNDEFINED
@@ -88,6 +104,11 @@ class WebViewRuntime:
         if url.startswith(JAVASCRIPT_SCHEME):
             return self.evaluateJavascript(url[len(JAVASCRIPT_SCHEME):],
                                            None)
+        if taint_enabled():
+            # A tainted URL reaching the network layer is an
+            # exfiltration channel (secrets smuggled in the query
+            # string become visible to the destination server).
+            taint_sink(("network", "loadUrl"), url)
         headers = {
             X_REQUESTED_WITH_HEADER: self.app_package,
             "User-Agent": "Mozilla/5.0 (Linux; Android 12; Pixel 3; wv)",
@@ -113,7 +134,8 @@ class WebViewRuntime:
         self.current_url = url
         self.load_count += 1
         self._bridge = DomBridge(self.document, self.recorder,
-                                 clock_ms=self.device.clock_ms)
+                                 clock_ms=self.device.clock_ms,
+                                 cookie_header=cookie_header or "")
         self._interpreter = JsInterpreter(self._bridge.globals_map())
         self._expose_bridges()
         return None
@@ -123,8 +145,11 @@ class WebViewRuntime:
         self.document = parse_html(HTML5_TEST_PAGE, url=TEST_PAGE_URL)
         self.current_url = TEST_PAGE_URL
         self.load_count += 1
-        self._bridge = DomBridge(self.document, self.recorder,
-                                 clock_ms=self.device.clock_ms)
+        host = TEST_PAGE_URL.split("://", 1)[1].split("/", 1)[0]
+        self._bridge = DomBridge(
+            self.document, self.recorder, clock_ms=self.device.clock_ms,
+            cookie_header=self.cookie_manager.get_cookie_header(host) or "",
+        )
         self._interpreter = JsInterpreter(self._bridge.globals_map())
         self._expose_bridges()
         return None

@@ -10,6 +10,10 @@ are byte-identical either way. ``REPRO_SCRIPT_CACHE`` is the dynamic
 pipeline's analogue: it toggles the compiled-script cache in
 :mod:`repro.web.jsengine` (also on by default, also exercised off in CI).
 
+``REPRO_TAINT`` turns on the taint-flow instrumentation in the JS
+evaluator (off by default so uninstrumented runs stay byte-identical;
+see :mod:`repro.impact`).
+
 ``REPRO_EXEC_WINDOW`` overrides the in-flight chunk window (default
 ``2 * max_workers``), ``REPRO_EXEC_STREAMING`` routes the studies
 through the streaming DAG scheduler (:mod:`repro.exec.stream`) instead
@@ -24,6 +28,7 @@ CHUNK_SIZE_ENV_VAR = "REPRO_CHUNK_SIZE"
 BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 CLASS_CACHE_ENV_VAR = "REPRO_CLASS_CACHE"
 SCRIPT_CACHE_ENV_VAR = "REPRO_SCRIPT_CACHE"
+TAINT_ENV_VAR = "REPRO_TAINT"
 WINDOW_ENV_VAR = "REPRO_EXEC_WINDOW"
 STREAMING_ENV_VAR = "REPRO_EXEC_STREAMING"
 RETRIES_ENV_VAR = "REPRO_EXEC_RETRIES"

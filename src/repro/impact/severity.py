@@ -1,0 +1,53 @@
+"""The severity taxonomy for bridge findings.
+
+A deterministic total order over what an attacker was observed to do
+with one bridge:
+
+``none``
+    The attacker reaches nothing: no page context at all (Custom Tabs),
+    or a MITM facing an all-HTTPS network log.
+``leak``
+    The attacker can *read* device/app state from the page context
+    (cookies, DOM text, Web API surface) but could not drive the bridge.
+``invoke``
+    The attacker can additionally *invoke* bridge methods — crossing
+    from page JS into app/Java code.
+``exfiltrate``
+    A taint flow from a secret source into a bridge argument or a
+    network-visible URL was actually observed: read + invoke + carry
+    the secret out.
+"""
+
+SEVERITY_NONE = "none"
+SEVERITY_LEAK = "leak"
+SEVERITY_INVOKE = "invoke"
+SEVERITY_EXFILTRATE = "exfiltrate"
+
+#: Ascending capability order; ranks index into this tuple.
+SEVERITY_ORDER = (
+    SEVERITY_NONE, SEVERITY_LEAK, SEVERITY_INVOKE, SEVERITY_EXFILTRATE,
+)
+
+_RANKS = {severity: rank for rank, severity in enumerate(SEVERITY_ORDER)}
+
+
+def severity_rank(severity):
+    """The numeric rank of a severity (``none`` = 0 ... ``exfiltrate`` = 3)."""
+    return _RANKS[severity]
+
+
+def grade_severity(readable, invocable, flow_count):
+    """Grade one (attacker, bridge) observation.
+
+    ``readable``/``invocable`` are the observed read channels and
+    callable methods; ``flow_count`` is the number of source->sink taint
+    flows recorded during the probe. Pure and total: the same inputs
+    always grade the same.
+    """
+    if flow_count:
+        return SEVERITY_EXFILTRATE
+    if invocable:
+        return SEVERITY_INVOKE
+    if readable:
+        return SEVERITY_LEAK
+    return SEVERITY_NONE

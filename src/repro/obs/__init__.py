@@ -70,6 +70,11 @@ from repro.obs.report import (
     EXEC_TASKS_QUARANTINED_METRIC,
     EXEC_WORKER_BUSY_METRIC,
     EXEC_WORKERS_METRIC,
+    IMPACT_APPS_METRIC,
+    IMPACT_BRIDGES_METRIC,
+    IMPACT_CLEARTEXT_METRIC,
+    IMPACT_FINDINGS_METRIC,
+    IMPACT_FLOWS_METRIC,
     LONGITUDINAL_APPS_METRIC,
     LONGITUDINAL_CHECKPOINT_FLUSHES_METRIC,
     LONGITUDINAL_DELTA_METRIC,
@@ -209,6 +214,11 @@ __all__ = [
     "EXEC_TASKS_QUARANTINED_METRIC",
     "EXEC_WORKER_BUSY_METRIC",
     "EXEC_WORKERS_METRIC",
+    "IMPACT_APPS_METRIC",
+    "IMPACT_BRIDGES_METRIC",
+    "IMPACT_CLEARTEXT_METRIC",
+    "IMPACT_FINDINGS_METRIC",
+    "IMPACT_FLOWS_METRIC",
     "Gauge",
     "Histogram",
     "LOG_LEVEL_ENV_VAR",

@@ -61,6 +61,15 @@ SCRIPT_CACHE_HITS_METRIC = "repro_script_cache_hits_total"
 SCRIPT_CACHE_MISSES_METRIC = "repro_script_cache_misses_total"
 SCRIPT_CACHE_TIME_SAVED_METRIC = "repro_script_cache_time_saved_seconds_total"
 
+#: Injection-impact census metrics (repro.impact), recorded in
+#: selection order during the merge so they are byte-identical at any
+#: worker count, backend, and streaming setting.
+IMPACT_APPS_METRIC = "repro_impact_apps_total"
+IMPACT_BRIDGES_METRIC = "repro_impact_bridges_total"
+IMPACT_FINDINGS_METRIC = "repro_impact_findings_total"
+IMPACT_FLOWS_METRIC = "repro_impact_taint_flows_total"
+IMPACT_CLEARTEXT_METRIC = "repro_impact_cleartext_visits_total"
+
 #: Longitudinal engine metrics (repro.longitudinal), fed per snapshot run.
 LONGITUDINAL_APPS_METRIC = "repro_longitudinal_apps_total"
 LONGITUDINAL_DELTA_METRIC = "repro_longitudinal_delta_apps_total"
@@ -93,6 +102,9 @@ def render_run_report(obs, title, items_label="apps", items_count=0,
     dynamic = _dynamic_table(obs)
     if dynamic is not None:
         sections.append(dynamic)
+    impact = _impact_table(obs)
+    if impact is not None:
+        sections.append(impact)
     longitudinal = _longitudinal_table(obs)
     if longitudinal is not None:
         sections.append(longitudinal)
@@ -199,6 +211,32 @@ def _dynamic_table(obs):
             "script parse time saved (clock s)",
             "%.3f" % registry.value(SCRIPT_CACHE_TIME_SAVED_METRIC),
         )
+    return table
+
+
+def _impact_table(obs):
+    """Injection-impact summary, rendered only for impact census runs."""
+    registry = obs.registry
+    apps = registry.label_values(IMPACT_APPS_METRIC)
+    if not apps:
+        return None
+    table = Table(["metric", "value"], title="Injection impact")
+    table.add_row("apps probed", int(sum(apps.values())))
+    for (kind,), count in sorted(apps.items()):
+        table.add_row("apps %s" % kind, int(count))
+    if registry.get(IMPACT_BRIDGES_METRIC) is not None:
+        table.add_row("bridges probed",
+                      int(registry.value(IMPACT_BRIDGES_METRIC)))
+    for (severity,), count in sorted(
+        registry.label_values(IMPACT_FINDINGS_METRIC).items()
+    ):
+        table.add_row("findings %s" % severity, int(count))
+    if registry.get(IMPACT_FLOWS_METRIC) is not None:
+        table.add_row("taint flows observed",
+                      int(registry.value(IMPACT_FLOWS_METRIC)))
+    if registry.get(IMPACT_CLEARTEXT_METRIC) is not None:
+        table.add_row("cleartext visits",
+                      int(registry.value(IMPACT_CLEARTEXT_METRIC)))
     return table
 
 

@@ -320,6 +320,91 @@ class ResultsService:
             (seq,),
         )]
 
+    def bridge_findings(self, app=None, attacker=None, min_severity=None,
+                        corpus=None, options=None, snapshot=None):
+        """Injection-impact findings, in census selection order.
+
+        Rows: ``(app, sdk, bridge, attacker, severity, readable,
+        invocable, flows, cleartext)``. Byte-equal to flattening the
+        live :attr:`~repro.impact.census.ImpactResult.findings` (the
+        stored ``position`` column preserves selection order at any
+        worker count / backend / streaming setting).
+        """
+        key = ("bridge_findings", app, attacker, min_severity, corpus,
+               options, snapshot)
+        return self._cached(key, lambda: self._bridge_findings(
+            app, attacker, min_severity, corpus, options, snapshot))
+
+    def _bridge_findings(self, app, attacker, min_severity, corpus,
+                         options, snapshot):
+        from repro.impact.severity import severity_rank
+
+        seq = self.store.latest_seq("impact", corpus, options, snapshot)
+        if seq is None:
+            return []
+        sql = (
+            "SELECT app, sdk, bridge, attacker, severity, readable,"
+            " invocable, flows, cleartext FROM bridge_findings"
+            " WHERE ingest_seq = ?"
+        )
+        params = [seq]
+        if app is not None:
+            sql += " AND app = ?"
+            params.append(app)
+        if attacker is not None:
+            sql += " AND attacker = ?"
+            params.append(attacker)
+        if min_severity is not None:
+            sql += " AND severity_rank >= ?"
+            params.append(severity_rank(min_severity))
+        sql += " ORDER BY position"
+        return [tuple(row) for row in self.store._query(sql,
+                                                        tuple(params))]
+
+    def capability_ranking(self, corpus=None, options=None, snapshot=None):
+        """SDKs ranked by injection capability, served from rows.
+
+        Byte-equal to
+        :meth:`~repro.impact.census.ImpactResult.sdk_capability_ranking`:
+        the rows are fetched in selection order and reduced in Python
+        with the identical sort key, so the served ranking cannot drift
+        from the in-memory one.
+        """
+        key = ("capability_ranking", corpus, options, snapshot)
+        return self._cached(key, lambda: self._capability_ranking(
+            corpus, options, snapshot))
+
+    def _capability_ranking(self, corpus, options, snapshot):
+        from repro.impact.severity import SEVERITY_ORDER, severity_rank
+
+        seq = self.store.latest_seq("impact", corpus, options, snapshot)
+        if seq is None:
+            return []
+        per_sdk = {}
+        for sdk, severity in self.store._query(
+                "SELECT sdk, severity FROM bridge_findings"
+                " WHERE ingest_seq = ? ORDER BY position", (seq,)):
+            counts = per_sdk.setdefault(sdk, dict.fromkeys(SEVERITY_ORDER,
+                                                           0))
+            counts[severity] += 1
+        ranked = sorted(
+            per_sdk.items(),
+            key=lambda item: (
+                tuple(-item[1][severity]
+                      for severity in reversed(SEVERITY_ORDER)),
+                item[0],
+            ),
+        )
+        result = []
+        for sdk, counts in ranked:
+            reached = max(
+                (severity for severity in SEVERITY_ORDER
+                 if counts[severity]),
+                key=severity_rank, default=SEVERITY_ORDER[0],
+            )
+            result.append((sdk, reached, counts))
+        return result
+
     def funnel(self, corpus=None, options=None, snapshot=None):
         """The latest static ingest's Table 2 funnel dict."""
         key = ("funnel", corpus, options, snapshot)
@@ -430,6 +515,42 @@ def _cmd_webapi(service, args):
     return 0
 
 
+def _cmd_bridges(service, args):
+    findings = service.bridge_findings(app=args.app,
+                                       attacker=args.attacker,
+                                       min_severity=args.min_severity)
+    if not findings:
+        print("no impact ingests recorded")
+        return 0
+    print("%-14s %-22s %-22s %-5s %-11s %s" % (
+        "App", "SDK", "Bridge", "Atk", "Severity", "Flows",
+    ))
+    for (app, sdk, bridge, attacker, severity, _readable, _invocable,
+         flows, _cleartext) in findings[:args.top]:
+        print("%-14s %-22s %-22s %-5s %-11s %d" % (
+            app, sdk, bridge, attacker, severity, flows,
+        ))
+    return 0
+
+
+def _cmd_capability(service, args):
+    from repro.impact.severity import SEVERITY_ORDER
+
+    ranking = service.capability_ranking()
+    if not ranking:
+        print("no impact ingests recorded")
+        return 0
+    print("%-4s %-24s %-12s %s" % (
+        "Rank", "SDK", "Capability", " ".join(SEVERITY_ORDER),
+    ))
+    for position, (sdk, reached, counts) in enumerate(ranking, start=1):
+        print("%-4d %-24s %-12s %s" % (
+            position, sdk, reached,
+            " ".join(str(counts[s]) for s in SEVERITY_ORDER),
+        ))
+    return 0
+
+
 def _cmd_funnel(service, args):
     funnel = service.funnel(snapshot=args.snapshot)
     if not funnel:
@@ -472,6 +593,19 @@ def main(argv=None):
 
     commands.add_parser("webapi", help="Web-API call events per app")
 
+    cmd = commands.add_parser(
+        "bridges", help="injection-impact bridge findings")
+    cmd.add_argument("--app", default=None)
+    cmd.add_argument("--attacker", default=None,
+                     choices=("sdk", "mitm"))
+    cmd.add_argument("--min-severity", default=None,
+                     choices=("none", "leak", "invoke", "exfiltrate"),
+                     help="only findings at or above this severity")
+    cmd.add_argument("--top", type=int, default=30)
+
+    commands.add_parser("capability",
+                        help="SDKs ranked by injection capability")
+
     cmd = commands.add_parser("funnel", help="Table 2 funnel of an ingest")
     cmd.add_argument("--snapshot", default=None)
 
@@ -484,6 +618,8 @@ def main(argv=None):
         "label": _cmd_label,
         "endpoints": _cmd_endpoints,
         "webapi": _cmd_webapi,
+        "bridges": _cmd_bridges,
+        "capability": _cmd_capability,
         "funnel": _cmd_funnel,
     }[args.command]
     return handler(service, args)

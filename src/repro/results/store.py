@@ -20,6 +20,8 @@ the entities the paper's questions are asked over:
   classification, app-specific, cleartext and embedded-credentials
   flags.
 - ``webapi_events`` — Web-API (interface, method) calls per app.
+- ``bridge_findings`` — per-(app, SDK, bridge, attacker) severity rows
+  from the injection-impact census (:mod:`repro.impact`).
 
 Conventions mirror :class:`repro.obs.store.TelemetryStore` and the
 longitudinal RunStore: WAL journal with a busy timeout, a fresh
@@ -44,7 +46,8 @@ from repro.web.urls import parse_url_cached
 RESULTS_DB_ENV_VAR = "REPRO_RESULTS_DB"
 
 #: Bumped on any schema change; old files are never migrated in place.
-SCHEMA_VERSION = 1
+#: v2: added the ``bridge_findings`` table (injection-impact census).
+SCHEMA_VERSION = 2
 
 _BUSY_TIMEOUT_MS = 5000
 
@@ -130,12 +133,30 @@ CREATE TABLE IF NOT EXISTS webapi_events (
     calls INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (ingest_seq, app, interface, method)
 );
+CREATE TABLE IF NOT EXISTS bridge_findings (
+    ingest_seq INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    app TEXT NOT NULL,
+    package TEXT NOT NULL,
+    sdk TEXT NOT NULL,
+    bridge TEXT NOT NULL,
+    attacker TEXT NOT NULL,
+    severity TEXT NOT NULL,
+    severity_rank INTEGER NOT NULL DEFAULT 0,
+    readable TEXT NOT NULL DEFAULT '',
+    invocable TEXT NOT NULL DEFAULT '',
+    flows INTEGER NOT NULL DEFAULT 0,
+    cleartext INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, position)
+);
 CREATE INDEX IF NOT EXISTS outcomes_by_package
     ON outcomes (package, ingest_seq);
 CREATE INDEX IF NOT EXISTS sdk_labels_by_ingest
     ON sdk_labels (ingest_seq, mechanism, sdk);
 CREATE INDEX IF NOT EXISTS endpoints_by_domain
     ON endpoints (ingest_seq, registrable_domain);
+CREATE INDEX IF NOT EXISTS bridge_findings_by_sdk
+    ON bridge_findings (ingest_seq, sdk, severity_rank);
 """
 
 
@@ -277,6 +298,13 @@ class ResultsStore:
                       snapshot="", git=None):
         """Persist Web-API call events from IAB measurements."""
         return self._ingest("webapi", _WebApiWriter(measurements),
+                            corpus, options, snapshot, git)
+
+    def ingest_impact(self, result, corpus="", options="", snapshot="",
+                      git=None):
+        """Persist an injection-impact census
+        (:class:`~repro.impact.ImpactResult`) as ``bridge_findings``."""
+        return self._ingest("impact", _ImpactWriter(result),
                             corpus, options, snapshot, git)
 
     def _ingest(self, kind, writer, corpus, options, snapshot, git):
@@ -555,6 +583,50 @@ class _CrawlWriter:
                      int(host in specific), stats["requests"],
                      stats["cleartext"], stats["credentials"]),
                 )
+
+
+class _ImpactWriter:
+    """Flattens an ImpactResult into bridge_findings rows.
+
+    Rows are written in the census's selection order with an explicit
+    ``position`` column, so the stored bytes are identical at any worker
+    count, backend, and streaming setting (the census already guarantees
+    the finding order).
+    """
+
+    def __init__(self, result):
+        self.result = result
+        self._findings = result.findings
+
+    def items(self):
+        return len(self._findings)
+
+    def funnel(self):
+        counts = {}
+        for finding in self._findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return {
+            "apps": len(self.result.records),
+            "findings": len(self._findings),
+            "severities": counts,
+        }
+
+    def write(self, conn, seq):
+        from repro.impact.severity import severity_rank
+
+        for position, finding in enumerate(self._findings):
+            conn.execute(
+                "INSERT OR REPLACE INTO bridge_findings (ingest_seq,"
+                " position, app, package, sdk, bridge, attacker,"
+                " severity, severity_rank, readable, invocable, flows,"
+                " cleartext)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (seq, position, finding.app, finding.package, finding.sdk,
+                 finding.bridge, finding.attacker, finding.severity,
+                 severity_rank(finding.severity),
+                 ",".join(finding.readable), ",".join(finding.invocable),
+                 finding.flow_count, int(finding.cleartext)),
+            )
 
 
 class _WebApiWriter:

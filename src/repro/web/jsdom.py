@@ -14,17 +14,27 @@ from repro.web.jsengine import (
     JsObject,
     NativeFunction,
     UNDEFINED,
+    taint_enabled,
+    taint_sink,
+    taint_wrap,
     to_string,
 )
 
 
 class DomBridge:
-    """Shared state for one page's JS execution."""
+    """Shared state for one page's JS execution.
 
-    def __init__(self, document, recorder, clock_ms=0.0):
+    ``cookie_header`` is the serialized cookie jar for the page's host,
+    surfaced to scripts as ``document.cookie`` (the WebView runtime
+    wires it from the app's private CookieManager). Under taint
+    instrumentation it is a secret source.
+    """
+
+    def __init__(self, document, recorder, clock_ms=0.0, cookie_header=""):
         self.document = document
         self.recorder = recorder
         self.clock_ms = clock_ms
+        self.cookie_header = cookie_header
         self._handles = {}
 
     def handle(self, node):
@@ -121,7 +131,11 @@ class _NodeCommon(HostObject):
         if name == "firstChild":
             return bridge.handle(node.children[0]) if node.children else None
         if name == "textContent":
-            return node.text_content()
+            text = node.text_content()
+            if taint_enabled():
+                # DOM text is page-secret material (e.g. rendered PII).
+                text = taint_wrap(text, {("dom", "textContent")})
+            return text
 
         if name == "getElementsByTagName":
             def get_by_tag(args, this):
@@ -233,6 +247,10 @@ class ElementHandle(_NodeCommon):
     def js_set(self, name, value):
         if name in ("id", "src", "href", "name", "content", "value",
                     "type", "charset", "rel"):
+            if name in ("src", "href") and taint_enabled():
+                # Element fetch URLs are network-visible: writing a
+                # tainted value here leaks it to the fetched origin.
+                taint_sink(("network", "element." + name), value)
             self.node.set_attribute(name, to_string(value))
             return
         if name == "className":
@@ -295,6 +313,12 @@ class DocumentHandle(_NodeCommon):
             return document.readyState
         if name == "URL":
             return document.url
+        if name == "cookie":
+            cookie = bridge.cookie_header
+            if taint_enabled():
+                cookie = taint_wrap(
+                    cookie, {("cookie", _hostname(document.url))})
+            return cookie
         if name == "getElementById":
             def get_by_id(args, this):
                 bridge.record("Document", "getElementById", args)
@@ -334,12 +358,17 @@ class WindowHandle(HostObject):
             "hostname": _hostname(bridge.document.url),
             "protocol": bridge.document.url.split(":", 1)[0] + ":",
         })
+        user_agent = (
+            "Mozilla/5.0 (Linux; Android 12; Pixel 3) AppleWebKit/537.36"
+            " (KHTML, like Gecko) Version/4.0 Chrome/109.0 Mobile"
+            " Safari/537.36"
+        )
+        if taint_enabled():
+            # Web API reads are device-state sources.
+            user_agent = taint_wrap(
+                user_agent, {("webapi", "navigator.userAgent")})
         self._navigator = JsObject({
-            "userAgent": (
-                "Mozilla/5.0 (Linux; Android 12; Pixel 3) AppleWebKit/537.36"
-                " (KHTML, like Gecko) Version/4.0 Chrome/109.0 Mobile"
-                " Safari/537.36"
-            ),
+            "userAgent": user_agent,
             "language": "en-US",
         })
         self._performance = JsObject({

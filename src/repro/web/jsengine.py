@@ -31,7 +31,7 @@ import time
 
 from repro.errors import JsRuntimeError, JsSyntaxError
 from repro.exec.cache import LruStore, env_max_entries
-from repro.exec.config import SCRIPT_CACHE_ENV_VAR, _env_flag
+from repro.exec.config import SCRIPT_CACHE_ENV_VAR, TAINT_ENV_VAR, _env_flag
 from repro.obs.tracing import current_tracer
 
 
@@ -717,6 +717,16 @@ def _cache_enabled():
     return _env_flag(SCRIPT_CACHE_ENV_VAR, True)
 
 
+def script_cache_key(digest, taint):
+    """The cache/event key for a compile: digest plus instrumentation mode.
+
+    Plain compiles keep the bare digest (the historical key, so existing
+    event streams and metrics are unchanged); taint-instrumented compiles
+    get a ``#taint`` suffix so the two modes never collide in the store.
+    """
+    return digest + "#taint" if taint else digest
+
+
 def _parse_for_run(source):
     """Parse for execution, through the compiled cache when enabled.
 
@@ -726,9 +736,9 @@ def _parse_for_run(source):
     whatever the cache configuration.
     """
     clock = current_tracer().clock
-    digest = script_digest(source)
+    key = script_cache_key(script_digest(source), taint_enabled())
     cache = default_script_cache() if _cache_enabled() else None
-    entry = cache.lookup(digest) if cache is not None else None
+    entry = cache.lookup(key) if cache is not None else None
     started = clock()
     program = entry.program if entry is not None else parse_js(source)
     elapsed = clock() - started
@@ -737,12 +747,151 @@ def _parse_for_run(source):
             cache.hits += 1
             cache.time_saved_s += entry.cost_s
         else:
-            cache.store(digest, program, elapsed)
+            cache.store(key, program, elapsed)
             cache.misses += 1
     events = _SCRIPT_EVENTS.get()
     if events is not None:
-        events.append((digest, elapsed))
+        events.append((key, elapsed))
     return program
+
+
+# ---------------------------------------------------------------------------
+# Taint layer
+# ---------------------------------------------------------------------------
+#
+# Source/sink instrumentation for the injection-impact analysis
+# (:mod:`repro.impact`). Values read from a taint source (bridge method
+# returns, ``document.cookie``, DOM secrets, Web API reads) are wrapped
+# in ``str``/``float`` subclasses that carry a frozenset of labels;
+# labels survive the coercions the evaluator already performs (equality,
+# truthiness, ``to_string`` on strings) because the wrappers ARE their
+# base type. Propagation happens at the ``+`` operator — the string
+# concatenation every exfiltration payload is assembled with — plus the
+# ``JSON.stringify``/``encodeURIComponent`` builtins, and is gated on a
+# per-interpreter flag resolved from ``REPRO_TAINT`` so uninstrumented
+# runs execute the exact same code paths as before.
+
+class TaintedStr(str):
+    """A string carrying taint labels; behaves exactly like ``str``."""
+
+    __slots__ = ("taint_labels",)
+
+    def __new__(cls, value, labels):
+        self = super(TaintedStr, cls).__new__(cls, value)
+        self.taint_labels = frozenset(labels)
+        return self
+
+
+class TaintedNum(float):
+    """A number carrying taint labels; behaves exactly like ``float``."""
+
+    __slots__ = ("taint_labels",)
+
+    def __new__(cls, value, labels):
+        self = super(TaintedNum, cls).__new__(cls, value)
+        self.taint_labels = frozenset(labels)
+        return self
+
+
+def taint_wrap(value, labels):
+    """Wrap a runtime value with taint labels (str/number only).
+
+    Values that cannot carry labels (undefined, booleans, objects) are
+    returned unchanged: the analysis tracks data that can actually be
+    exfiltrated through a string-shaped channel.
+    """
+    if not labels:
+        return value
+    labels = frozenset(labels) | taint_labels(value)
+    if isinstance(value, str):
+        return TaintedStr(value, labels)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return TaintedNum(value, labels)
+    return value
+
+
+def taint_labels(value):
+    """The frozenset of taint labels on a value (empty when untainted)."""
+    return getattr(value, "taint_labels", frozenset())
+
+
+def is_tainted(value):
+    return bool(taint_labels(value))
+
+
+def _collect_taint_labels(value, _depth=0):
+    """All taint labels reachable from a value, including through
+    object properties and array elements (``JSON.stringify`` serialises
+    the whole graph, so its output inherits every embedded label)."""
+    labels = taint_labels(value)
+    if _depth > 8:
+        return labels
+    if isinstance(value, JsObject):
+        for prop in value.properties.values():
+            labels |= _collect_taint_labels(prop, _depth + 1)
+    elif isinstance(value, JsArray):
+        for element in value.elements:
+            labels |= _collect_taint_labels(element, _depth + 1)
+    return labels
+
+
+_TAINT_OVERRIDE = contextvars.ContextVar("repro_taint_override", default=None)
+_TAINT_FLOWS = contextvars.ContextVar("repro_taint_flows", default=None)
+
+
+def taint_enabled():
+    """Whether taint instrumentation is active (override, else env)."""
+    override = _TAINT_OVERRIDE.get()
+    if override is not None:
+        return override
+    return _env_flag(TAINT_ENV_VAR, False)
+
+
+@contextlib.contextmanager
+def taint_override(enabled):
+    """Force taint instrumentation on/off for the enclosed block.
+
+    The impact probes use this to instrument a single attacker replay
+    without flipping ``REPRO_TAINT`` for the whole process.
+    """
+    token = _TAINT_OVERRIDE.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _TAINT_OVERRIDE.reset(token)
+
+
+@contextlib.contextmanager
+def record_taint_flows(flows):
+    """Collect ``(sink, sorted_source_labels)`` tuples into ``flows``.
+
+    Flows are appended in execution order with their source labels
+    sorted, so the stream is deterministic for a deterministic script.
+    """
+    token = _TAINT_FLOWS.set(flows)
+    try:
+        yield flows
+    finally:
+        _TAINT_FLOWS.reset(token)
+
+
+def taint_sink(sink, *values):
+    """Report tainted values reaching a sink to the ambient collector.
+
+    ``sink`` is a label tuple such as ``("bridge_arg", name, method)`` or
+    ``("network", url)``. Untainted values are ignored; without an
+    ambient collector this is a no-op.
+    """
+    flows = _TAINT_FLOWS.get()
+    if flows is None:
+        return
+    labels = frozenset()
+    for value in values:
+        labels |= taint_labels(value)
+    if labels:
+        flows.append((sink, tuple(sorted(labels))))
 
 
 # ---------------------------------------------------------------------------
@@ -998,6 +1147,9 @@ class JsInterpreter:
         self.global_scope = _Scope()
         self.steps = 0
         self.console_log = []
+        # Resolved once per interpreter: taint-off runs pay one attribute
+        # read per propagation site and execute the historical code paths.
+        self._taint = taint_enabled()
         self._install_builtins()
         for name, value in (globals_map or {}).items():
             self.global_scope.declare(name, value)
@@ -1055,11 +1207,16 @@ class JsInterpreter:
             ))
         scope.declare("console", console)
 
+        def js_json_stringify(args, this):
+            value = args[0] if args else UNDEFINED
+            result = json_stringify(value)
+            if self._taint:
+                result = taint_wrap(result, _collect_taint_labels(value))
+            return result
+
         json_object = JsObject()
         json_object.set("stringify", NativeFunction(
-            "JSON.stringify", lambda args, this: json_stringify(
-                args[0] if args else UNDEFINED)
-        ))
+            "JSON.stringify", js_json_stringify))
         json_object.set("parse", NativeFunction(
             "JSON.parse", lambda args, this: json_parse(
                 to_string(args[0]) if args else "null")
@@ -1089,8 +1246,14 @@ class JsInterpreter:
         native("Number", lambda a, t: to_number(a[0]) if a else 0.0)
         native("Boolean", lambda a, t: truthy(a[0]) if a else False)
         native("isNaN", lambda a, t: to_number(a[0]) != to_number(a[0]))
-        native("encodeURIComponent", lambda a, t: _encode_uri_component(
-            to_string(a[0]) if a else ""))
+        def js_encode_uri_component(a, t):
+            value = to_string(a[0]) if a else ""
+            result = _encode_uri_component(value)
+            if self._taint:
+                result = taint_wrap(result, taint_labels(value))
+            return result
+
+        native("encodeURIComponent", js_encode_uri_component)
         native("Array", lambda a, t: JsArray(list(a)))
 
     def _console(self, level, args):
@@ -1352,8 +1515,19 @@ class JsInterpreter:
     def _binary_op(self, operator, left, right):
         if operator == "+":
             if isinstance(left, str) or isinstance(right, str):
-                return to_string(left) + to_string(right)
-            return to_number(left) + to_number(right)
+                result = to_string(left) + to_string(right)
+            else:
+                result = to_number(left) + to_number(right)
+            if self._taint:
+                # Hot path: plain getattr keeps the untainted-operands
+                # case (the overwhelming majority) free of calls.
+                labels = (getattr(left, "taint_labels", None),
+                          getattr(right, "taint_labels", None))
+                if labels[0] or labels[1]:
+                    result = taint_wrap(
+                        result, (labels[0] or frozenset())
+                        | (labels[1] or frozenset()))
+            return result
         if operator == "-":
             return to_number(left) - to_number(right)
         if operator == "*":

@@ -227,6 +227,37 @@ class TestFrida:
         runtime.loadUrl(TEST_PAGE_URL)
         assert runtime.getTitle() == "HTML5 Test Page"
 
+    def test_injected_bridge_methods_captured(self):
+        device = make_device()
+        runtime = WebViewRuntime("com.test.app", device)
+        session = FridaSession().attach(runtime)
+        runtime.addJavascriptInterface(
+            JsBridge("api", {"beta": None, "alpha": None}), "api")
+        # Registration order of the methods dict, not alphabetical —
+        # stable across runs because the profiles are literals.
+        assert session.injected_bridge_methods() == {
+            "api": ("beta", "alpha"),
+        }
+
+    def test_bridge_without_methods_reports_postmessage(self):
+        device = make_device()
+        runtime = WebViewRuntime("com.test.app", device)
+        session = FridaSession().attach(runtime)
+        runtime.addJavascriptInterface(JsBridge("a0"), "a0")
+        assert session.injected_bridge_methods() == {"a0": ("postMessage",)}
+
+    def test_bridge_methods_track_multiple_bridges(self):
+        device = make_device()
+        runtime = WebViewRuntime("com.test.app", device)
+        session = FridaSession().attach(runtime)
+        runtime.addJavascriptInterface(JsBridge("pay", {"charge": None}),
+                                       "pay")
+        runtime.addJavascriptInterface(JsBridge("ads"), "ads")
+        methods = session.injected_bridge_methods()
+        assert list(methods) == ["pay", "ads"]
+        assert methods["pay"] == ("charge",)
+        assert methods["ads"] == ("postMessage",)
+
 
 class TestRealAppProfiles:
     def test_eleven_profiles(self):
@@ -354,3 +385,37 @@ class TestMeasurementHarness:
         assert "addJavascriptInterface" in called
         assert "evaluateJavascript" in called
         assert "loadUrl" in called
+
+    def test_bridge_methods_captured_per_bridge(self, measurements):
+        assert measurements["Facebook"].injected_bridge_methods == {
+            "fbpayIAWBridge": ("requestPayment",),
+            "metaCheckoutIAWBridge": ("openCheckout",),
+            "_AutofillExtensions": ("getAutofillData",),
+        }
+        assert measurements["Pinterest"].injected_bridge_methods == {
+            "a0": ("postMessage",),
+        }
+
+    def test_opaque_bridge_classified_by_methods(self):
+        """An opaque *name* falls back to the exposed-method heuristics
+        before being written off as obfuscated."""
+        from repro.dynamic.measurements import IabMeasurement
+        shim = IabMeasurement(None)
+        shim.injected_bridges = ["zx81"]
+        shim.injected_bridge_methods = {
+            "zx81": ("requestPayment", "postMessage"),
+        }
+        assert shim.inferred_bridge_intents() == ["Facebook Pay."]
+
+    def test_postmessage_only_bridge_stays_obfuscated(self, measurements):
+        """Pinterest's ``a0`` exposes only postMessage, which carries no
+        intent signal — it must still read as obfuscated."""
+        pinterest = measurements["Pinterest"]
+        assert pinterest.inferred_bridge_intents() == ["(Obfuscated)"]
+
+    def test_method_heuristic_covers_ads_bridges(self):
+        from repro.dynamic.measurements import IabMeasurement
+        shim = IabMeasurement(None)
+        shim.injected_bridges = ["q7"]
+        shim.injected_bridge_methods = {"q7": ("notifyAdLoaded",)}
+        assert shim.inferred_bridge_intents() == ["Google Ads."]

@@ -10,9 +10,20 @@ from repro.web.jsengine import (
     JsInterpreter,
     JsArray,
     JsObject,
+    TaintedNum,
+    TaintedStr,
     UNDEFINED,
+    default_script_cache,
     json_stringify,
+    record_script_events,
     run_script,
+    script_cache_key,
+    script_cache_override,
+    script_digest,
+    taint_enabled,
+    taint_labels,
+    taint_override,
+    taint_wrap,
     to_string,
 )
 from repro.web.webapi import WebApiRecorder
@@ -341,3 +352,109 @@ class TestDomBridge:
         interpreter = JsInterpreter(bridge.globals_map())
         interpreter.run("__result = document.body.textContent.length > 100;")
         assert interpreter.global_scope.lookup("__result") is True
+
+
+class TestTaintLayer:
+    def make_interpreter(self, globals_map=None):
+        return JsInterpreter(globals_map)
+
+    def test_tainted_str_is_a_str(self):
+        value = TaintedStr("secret", {("test", "x")})
+        assert value == "secret"
+        assert isinstance(value, str)
+        assert taint_labels(value) == frozenset({("test", "x")})
+        assert to_string(value) == "secret"
+
+    def test_tainted_num_is_a_float(self):
+        value = TaintedNum(7, {("test", "n")})
+        assert value == 7.0
+        assert value + 1 == 8.0
+        assert taint_labels(value) == frozenset({("test", "n")})
+
+    def test_wrap_skips_unlabellable_values(self):
+        assert taint_wrap(True, {("test", "x")}) is True
+        assert taint_wrap(UNDEFINED, {("test", "x")}) is UNDEFINED
+        assert taint_wrap("plain", frozenset()) == "plain"
+        assert taint_labels(taint_wrap("plain", frozenset())) == frozenset()
+
+    def test_concat_propagates_labels(self):
+        secret = TaintedStr("s3cret", {("test", "src")})
+        with taint_override(True):
+            interpreter = self.make_interpreter({"secret": secret})
+            result = interpreter.run("'payload=' + secret + '!'")
+        assert result == "payload=s3cret!"
+        assert taint_labels(result) == frozenset({("test", "src")})
+
+    def test_concat_drops_labels_when_taint_off(self):
+        secret = TaintedStr("s3cret", {("test", "src")})
+        with taint_override(False):
+            interpreter = self.make_interpreter({"secret": secret})
+            result = interpreter.run("'payload=' + secret")
+        assert result == "payload=s3cret"
+        assert taint_labels(result) == frozenset()
+
+    def test_json_stringify_collects_embedded_labels(self):
+        secret = TaintedStr("tok", {("test", "deep")})
+        with taint_override(True):
+            interpreter = self.make_interpreter({"secret": secret})
+            result = interpreter.run(
+                "JSON.stringify({a: {b: secret}, n: 1})")
+        assert taint_labels(result) == frozenset({("test", "deep")})
+
+    def test_encode_uri_component_propagates(self):
+        secret = TaintedStr("a b", {("test", "enc")})
+        with taint_override(True):
+            interpreter = self.make_interpreter({"secret": secret})
+            result = interpreter.run("encodeURIComponent(secret)")
+        assert result == "a%20b"
+        assert taint_labels(result) == frozenset({("test", "enc")})
+
+    def test_taint_off_by_default(self):
+        assert not taint_enabled()
+        with taint_override(True):
+            assert taint_enabled()
+        assert not taint_enabled()
+
+
+class TestScriptCacheModeKey:
+    """Satellite: the compiled-script cache keys on instrumentation mode."""
+
+    def test_plain_key_is_the_bare_digest(self):
+        digest = script_digest("var x;")
+        assert script_cache_key(digest, False) == digest
+        assert script_cache_key(digest, True) == digest + "#taint"
+
+    def test_modes_never_collide(self):
+        digest = script_digest("var x;")
+        assert script_cache_key(digest, False) \
+            != script_cache_key(digest, True)
+
+    def test_same_source_two_entries_across_modes(self):
+        """A taint-instrumented run must not reuse a plain compile: the
+        second parse of the same source is a miss, not a hit."""
+        cache = default_script_cache()
+        cache.clear()
+        source = "var regression = 'mode-key';"
+        with script_cache_override(True):
+            JsInterpreter().run(source)
+            assert (cache.hits, cache.misses) == (0, 1)
+            with taint_override(True):
+                JsInterpreter().run(source)
+            assert (cache.hits, cache.misses) == (0, 2)
+            assert len(cache) == 2
+            # Re-runs in either mode now hit their own entry.
+            JsInterpreter().run(source)
+            with taint_override(True):
+                JsInterpreter().run(source)
+            assert (cache.hits, cache.misses) == (2, 2)
+        cache.clear()
+
+    def test_event_stream_carries_mode_key(self):
+        source = "var ev = 'mode';"
+        digest = script_digest(source)
+        events = []
+        with script_cache_override(False), record_script_events(events):
+            JsInterpreter().run(source)
+            with taint_override(True):
+                JsInterpreter().run(source)
+        assert [key for key, _ in events] == [digest, digest + "#taint"]
