@@ -9,7 +9,7 @@ Figures 3-4). The static pipeline re-measures everything from the APK bytes.
 
 from repro.corpus.config import CorpusConfig, FunnelRatios
 from repro.corpus.profiles import AppSpec, SdkUse, generate_specs
-from repro.corpus.appgen import build_app_apk
+from repro.corpus.appgen import build_app_apk, runtime_session_urls
 from repro.corpus.generator import Corpus, generate_corpus, publish_spec
 from repro.corpus.evolution import (
     ChurnConfig,
@@ -25,6 +25,7 @@ __all__ = [
     "SdkUse",
     "generate_specs",
     "build_app_apk",
+    "runtime_session_urls",
     "Corpus",
     "generate_corpus",
     "publish_spec",

@@ -84,6 +84,12 @@ class MethodBuilder:
     def iput(self, class_name, field_name):
         return self.emit(Opcode.IPUT, (class_name, field_name))
 
+    def sget(self, class_name, field_name):
+        return self.emit(Opcode.SGET, (class_name, field_name))
+
+    def sput(self, class_name, field_name):
+        return self.emit(Opcode.SPUT, (class_name, field_name))
+
     def move_result(self):
         return self.emit(Opcode.MOVE_RESULT)
 

@@ -47,6 +47,10 @@ class CallGraphError(ReproError):
     """Raised for call-graph construction failures."""
 
 
+class EndpointError(ReproError):
+    """Raised when static endpoint reconstruction fails for one app."""
+
+
 class StoreError(ReproError):
     """Raised by the Play Store catalog / scraper client."""
 

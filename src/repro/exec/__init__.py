@@ -43,6 +43,8 @@ task order via a prefix-flush buffer however chunks complete.
 
 from repro.exec.cache import (
     CACHE_DIR_ENV_VAR,
+    CLASS_FACTS_KIND,
+    ENDPOINT_SUMMARY_KIND,
     AnalysisCache,
     ClassFactsCache,
     LruStore,
@@ -57,6 +59,7 @@ from repro.exec.config import (
     CHUNK_SIZE_ENV_VAR,
     CLASS_CACHE_ENV_VAR,
     DEFAULT_MAX_ATTEMPTS,
+    ENDPOINT_CACHE_ENV_VAR,
     ExecConfig,
     ExecConfigError,
     MAX_WORKERS_ENV_VAR,
@@ -97,8 +100,11 @@ __all__ = [
     "CACHE_DIR_ENV_VAR",
     "CHUNK_SIZE_ENV_VAR",
     "CLASS_CACHE_ENV_VAR",
+    "CLASS_FACTS_KIND",
     "ClassFactsCache",
     "DEFAULT_MAX_ATTEMPTS",
+    "ENDPOINT_CACHE_ENV_VAR",
+    "ENDPOINT_SUMMARY_KIND",
     "ExecConfig",
     "ExecConfigError",
     "InlinePool",

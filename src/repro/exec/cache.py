@@ -85,30 +85,47 @@ def env_max_entries():
     return _env_max_entries()
 
 
+#: Default fact kind: the decompile/parse facts of
+#: :mod:`repro.static_analysis.classfacts` (the original tier-2 payload).
+CLASS_FACTS_KIND = "cls"
+
+#: Endpoint string-propagation summaries (:mod:`repro.endpoints.summaries`).
+ENDPOINT_SUMMARY_KIND = "esum"
+
+
 class ClassFactsCache:
     """Content-addressed per-class analysis facts (the lower tier).
 
-    Keys are canonical-encoding digests; values are
-    :class:`~repro.static_analysis.classfacts.ClassFacts`. The in-memory
-    LRU is backed by an optional on-disk layer: one pickle per digest,
-    written atomically (temp file + ``os.replace``), promoted back into
-    memory on load. Unreadable or corrupt files count as misses.
+    Keys are canonical-encoding digests; values are one *fact kind* —
+    :class:`~repro.static_analysis.classfacts.ClassFacts` by default, or
+    any other picklable per-class derivation (endpoint propagation
+    summaries use :data:`ENDPOINT_SUMMARY_KIND`). The in-memory LRU is
+    backed by an optional on-disk layer: one pickle per digest, written
+    atomically (temp file + ``os.replace``), promoted back into memory
+    on load. Unreadable or corrupt files count as misses.
+
+    Disk entries are namespaced by ``kind``: two analyses deriving
+    different facts from the *same* class bytes share a digest, so each
+    kind owns its own ``<kind>_<digest>.pkl`` file and several caches
+    can share one ``REPRO_CACHE_DIR`` without clobbering each other.
     """
 
-    def __init__(self, max_entries=None, cache_dir=None):
+    def __init__(self, max_entries=None, cache_dir=None,
+                 kind=CLASS_FACTS_KIND):
         if max_entries is None:
             max_entries = _env_max_entries()
         if cache_dir is None:
             cache_dir = _env_cache_dir()
         self._store = _LruStore(max_entries)
         self.cache_dir = cache_dir
+        self.kind = kind
         self.hits = 0
         self.misses = 0
 
     # -- disk layer ----------------------------------------------------------
 
     def _path(self, digest):
-        return os.path.join(self.cache_dir, "cls_%s.pkl" % digest)
+        return os.path.join(self.cache_dir, "%s_%s.pkl" % (self.kind, digest))
 
     def _disk_load(self, digest):
         if self.cache_dir is None:
@@ -140,10 +157,11 @@ class ClassFactsCache:
             names = os.listdir(self.cache_dir)
         except OSError:
             return set()
+        prefix = "%s_" % self.kind
         return {
-            name[len("cls_"):-len(".pkl")]
+            name[len(prefix):-len(".pkl")]
             for name in names
-            if name.startswith("cls_") and name.endswith(".pkl")
+            if name.startswith(prefix) and name.endswith(".pkl")
         }
 
     # -- cache API -----------------------------------------------------------
@@ -204,8 +222,10 @@ class ClassFactsCache:
         return len(self._store)
 
     def __repr__(self):
-        return "ClassFactsCache(%d facts, %d hits, %d misses, %d evicted)" % (
-            len(self._store), self.hits, self.misses, self.evictions
+        return ("ClassFactsCache(%s, %d facts, %d hits, %d misses, "
+                "%d evicted)") % (
+            self.kind, len(self._store), self.hits, self.misses,
+            self.evictions,
         )
 
 
@@ -214,17 +234,25 @@ class AnalysisCache:
 
     The legacy single-tier API (``get``/``put`` on ``(sha256,
     fingerprint)``) addresses the APK-outcome tier; the class-facts tier
-    hangs off :attr:`classes`. Both tiers honor
-    ``REPRO_CACHE_MAX_ENTRIES`` unless an explicit bound is given.
+    hangs off :attr:`classes` and the endpoint-summary tier (the second
+    fact kind over the same digests) off :attr:`summaries`. All tiers
+    honor ``REPRO_CACHE_MAX_ENTRIES`` unless an explicit bound is given,
+    and the two per-class tiers share the disk layer directory without
+    colliding (each fact kind namespaces its own files).
     """
 
-    def __init__(self, max_entries=None, cache_dir=None, classes=None):
+    def __init__(self, max_entries=None, cache_dir=None, classes=None,
+                 summaries=None):
         if max_entries is None:
             max_entries = _env_max_entries()
         self._entries = _LruStore(max_entries)
         self.classes = (classes if classes is not None
                         else ClassFactsCache(max_entries=max_entries,
                                              cache_dir=cache_dir))
+        self.summaries = (summaries if summaries is not None
+                          else ClassFactsCache(max_entries=max_entries,
+                                               cache_dir=cache_dir,
+                                               kind=ENDPOINT_SUMMARY_KIND))
         self.hits = 0
         self.misses = 0
 
@@ -261,6 +289,7 @@ class AnalysisCache:
     def clear(self):
         self._entries.clear()
         self.classes.clear()
+        self.summaries.clear()
 
     def __len__(self):
         return len(self._entries)

@@ -9,6 +9,9 @@ default) picks processes only when more than one worker is requested.
 are byte-identical either way. ``REPRO_SCRIPT_CACHE`` is the dynamic
 pipeline's analogue: it toggles the compiled-script cache in
 :mod:`repro.web.jsengine` (also on by default, also exercised off in CI).
+``REPRO_ENDPOINT_CACHE`` toggles the endpoint census's propagation-summary
+and outcome reuse (:mod:`repro.endpoints`), following the same
+on-by-default / byte-identical-off contract.
 
 ``REPRO_TAINT`` turns on the taint-flow instrumentation in the JS
 evaluator (off by default so uninstrumented runs stay byte-identical;
@@ -28,6 +31,7 @@ CHUNK_SIZE_ENV_VAR = "REPRO_CHUNK_SIZE"
 BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 CLASS_CACHE_ENV_VAR = "REPRO_CLASS_CACHE"
 SCRIPT_CACHE_ENV_VAR = "REPRO_SCRIPT_CACHE"
+ENDPOINT_CACHE_ENV_VAR = "REPRO_ENDPOINT_CACHE"
 TAINT_ENV_VAR = "REPRO_TAINT"
 WINDOW_ENV_VAR = "REPRO_EXEC_WINDOW"
 STREAMING_ENV_VAR = "REPRO_EXEC_STREAMING"
@@ -86,8 +90,8 @@ class ExecConfig:
     """
 
     def __init__(self, max_workers=None, chunk_size=None, backend=None,
-                 class_cache=None, script_cache=None, window=None,
-                 streaming=None, max_attempts=None):
+                 class_cache=None, script_cache=None, endpoint_cache=None,
+                 window=None, streaming=None, max_attempts=None):
         if max_workers is None:
             max_workers = _env_int(MAX_WORKERS_ENV_VAR, 1)
         if chunk_size is None:
@@ -98,6 +102,8 @@ class ExecConfig:
             class_cache = _env_flag(CLASS_CACHE_ENV_VAR, True)
         if script_cache is None:
             script_cache = _env_flag(SCRIPT_CACHE_ENV_VAR, True)
+        if endpoint_cache is None:
+            endpoint_cache = _env_flag(ENDPOINT_CACHE_ENV_VAR, True)
         if window is None:
             window = _env_int(WINDOW_ENV_VAR, None)
         if streaming is None:
@@ -124,6 +130,7 @@ class ExecConfig:
         self.backend = backend
         self.class_cache = bool(class_cache)
         self.script_cache = bool(script_cache)
+        self.endpoint_cache = bool(endpoint_cache)
         self._window = int(window) if window is not None else None
         self.streaming = bool(streaming)
         self.max_attempts = int(max_attempts)

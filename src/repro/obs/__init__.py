@@ -70,6 +70,14 @@ from repro.obs.report import (
     EXEC_TASKS_QUARANTINED_METRIC,
     EXEC_WORKER_BUSY_METRIC,
     EXEC_WORKERS_METRIC,
+    ENDPOINTS_APPS_METRIC,
+    ENDPOINTS_CLEARTEXT_METRIC,
+    ENDPOINTS_CREDENTIALS_METRIC,
+    ENDPOINTS_FOUND_METRIC,
+    ENDPOINTS_SUMMARY_BYTES_DEDUPED_METRIC,
+    ENDPOINTS_SUMMARY_CACHE_HITS_METRIC,
+    ENDPOINTS_SUMMARY_CACHE_MISSES_METRIC,
+    ENDPOINTS_SUMMARY_TIME_SAVED_METRIC,
     IMPACT_APPS_METRIC,
     IMPACT_BRIDGES_METRIC,
     IMPACT_CLEARTEXT_METRIC,
@@ -214,6 +222,14 @@ __all__ = [
     "EXEC_TASKS_QUARANTINED_METRIC",
     "EXEC_WORKER_BUSY_METRIC",
     "EXEC_WORKERS_METRIC",
+    "ENDPOINTS_APPS_METRIC",
+    "ENDPOINTS_CLEARTEXT_METRIC",
+    "ENDPOINTS_CREDENTIALS_METRIC",
+    "ENDPOINTS_FOUND_METRIC",
+    "ENDPOINTS_SUMMARY_BYTES_DEDUPED_METRIC",
+    "ENDPOINTS_SUMMARY_CACHE_HITS_METRIC",
+    "ENDPOINTS_SUMMARY_CACHE_MISSES_METRIC",
+    "ENDPOINTS_SUMMARY_TIME_SAVED_METRIC",
     "IMPACT_APPS_METRIC",
     "IMPACT_BRIDGES_METRIC",
     "IMPACT_CLEARTEXT_METRIC",

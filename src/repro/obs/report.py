@@ -70,6 +70,23 @@ IMPACT_FINDINGS_METRIC = "repro_impact_findings_total"
 IMPACT_FLOWS_METRIC = "repro_impact_taint_flows_total"
 IMPACT_CLEARTEXT_METRIC = "repro_impact_cleartext_visits_total"
 
+#: Static endpoint census metrics (repro.endpoints), recorded in
+#: selection order during the merge (same determinism contract as the
+#: impact census); the summary-cache counters come from the
+#: selection-order digest replay, never from worker-local counts.
+ENDPOINTS_APPS_METRIC = "repro_endpoints_apps_total"
+ENDPOINTS_FOUND_METRIC = "repro_endpoints_found_total"
+ENDPOINTS_CLEARTEXT_METRIC = "repro_endpoints_cleartext_total"
+ENDPOINTS_CREDENTIALS_METRIC = "repro_endpoints_credentials_total"
+ENDPOINTS_SUMMARY_CACHE_HITS_METRIC = "repro_endpoints_summary_hits_total"
+ENDPOINTS_SUMMARY_CACHE_MISSES_METRIC = "repro_endpoints_summary_misses_total"
+ENDPOINTS_SUMMARY_TIME_SAVED_METRIC = (
+    "repro_endpoints_summary_time_saved_seconds_total"
+)
+ENDPOINTS_SUMMARY_BYTES_DEDUPED_METRIC = (
+    "repro_endpoints_summary_bytes_deduped_total"
+)
+
 #: Longitudinal engine metrics (repro.longitudinal), fed per snapshot run.
 LONGITUDINAL_APPS_METRIC = "repro_longitudinal_apps_total"
 LONGITUDINAL_DELTA_METRIC = "repro_longitudinal_delta_apps_total"
@@ -105,6 +122,9 @@ def render_run_report(obs, title, items_label="apps", items_count=0,
     impact = _impact_table(obs)
     if impact is not None:
         sections.append(impact)
+    endpoints = _endpoints_table(obs)
+    if endpoints is not None:
+        sections.append(endpoints)
     longitudinal = _longitudinal_table(obs)
     if longitudinal is not None:
         sections.append(longitudinal)
@@ -237,6 +257,50 @@ def _impact_table(obs):
     if registry.get(IMPACT_CLEARTEXT_METRIC) is not None:
         table.add_row("cleartext visits",
                       int(registry.value(IMPACT_CLEARTEXT_METRIC)))
+    return table
+
+
+def _endpoints_table(obs):
+    """Static-endpoint summary, rendered only for endpoint census runs."""
+    registry = obs.registry
+    if registry.get(ENDPOINTS_APPS_METRIC) is None:
+        return None
+    table = Table(["metric", "value"], title="Static endpoints")
+    table.add_row("apps reconstructed",
+                  int(registry.value(ENDPOINTS_APPS_METRIC)))
+    for (kind,), count in sorted(
+        registry.label_values(ENDPOINTS_FOUND_METRIC).items()
+    ):
+        table.add_row("endpoints %s" % kind, int(count))
+    if registry.get(ENDPOINTS_CLEARTEXT_METRIC) is not None:
+        table.add_row("cleartext endpoints",
+                      int(registry.value(ENDPOINTS_CLEARTEXT_METRIC)))
+    if registry.get(ENDPOINTS_CREDENTIALS_METRIC) is not None:
+        table.add_row("credentialed endpoints",
+                      int(registry.value(ENDPOINTS_CREDENTIALS_METRIC)))
+    hits = registry.get(ENDPOINTS_SUMMARY_CACHE_HITS_METRIC)
+    misses = registry.get(ENDPOINTS_SUMMARY_CACHE_MISSES_METRIC)
+    if hits is not None or misses is not None:
+        hit_count = int(registry.value(ENDPOINTS_SUMMARY_CACHE_HITS_METRIC)
+                        ) if hits is not None else 0
+        miss_count = int(registry.value(
+            ENDPOINTS_SUMMARY_CACHE_MISSES_METRIC)) if misses is not None else 0
+        table.add_row("summary cache hits", hit_count)
+        table.add_row("summary cache misses", miss_count)
+        total = hit_count + miss_count
+        if total:
+            table.add_row("summary hit rate",
+                          "%.1f%%" % (100.0 * hit_count / total))
+    if registry.get(ENDPOINTS_SUMMARY_TIME_SAVED_METRIC) is not None:
+        table.add_row(
+            "summary time saved (clock s)",
+            "%.3f" % registry.value(ENDPOINTS_SUMMARY_TIME_SAVED_METRIC),
+        )
+    if registry.get(ENDPOINTS_SUMMARY_BYTES_DEDUPED_METRIC) is not None:
+        table.add_row(
+            "summary bytes deduplicated",
+            int(registry.value(ENDPOINTS_SUMMARY_BYTES_DEDUPED_METRIC)),
+        )
     return table
 
 

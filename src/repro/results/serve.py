@@ -405,6 +405,118 @@ class ResultsService:
             result.append((sdk, reached, counts))
         return result
 
+    def static_endpoints(self, source="static", app=None, corpus=None,
+                         options=None, snapshot=None):
+        """Static endpoint census rows, in census selection order.
+
+        ``source`` selects ``static`` reconstructions, ``dynamic``
+        cross-validation observations, or ``both``. Rows: ``(app,
+        source, url, sdk, partial, cleartext, credentials, matched)``.
+        Byte-equal to flattening the live
+        :attr:`~repro.endpoints.EndpointResult.records` (the stored
+        ``position`` column preserves selection order at any worker
+        count / backend / streaming setting).
+        """
+        key = ("static_endpoints", source, app, corpus, options, snapshot)
+        return self._cached(key, lambda: self._static_endpoints(
+            source, app, corpus, options, snapshot))
+
+    def _static_endpoints(self, source, app, corpus, options, snapshot):
+        seq = self.store.latest_seq("endpoints", corpus, options, snapshot)
+        if seq is None:
+            return []
+        sql = (
+            "SELECT app, source, url, sdk, partial, cleartext,"
+            " has_credentials, matched FROM static_endpoints"
+            " WHERE ingest_seq = ?"
+        )
+        params = [seq]
+        if source != "both":
+            sql += " AND source = ?"
+            params.append(source)
+        if app is not None:
+            sql += " AND app = ?"
+            params.append(app)
+        sql += " ORDER BY position"
+        return [tuple(row) for row in self.store._query(sql,
+                                                        tuple(params))]
+
+    def static_sdk_census(self, corpus=None, options=None, snapshot=None):
+        """Per-SDK endpoint census rows, served from stored rows.
+
+        Byte-equal to
+        :meth:`~repro.endpoints.EndpointResult.sdk_census` rendered in
+        the census table's SDK order: ``[(sdk, {total, full, partial,
+        cleartext, credentials})]``. Rows are fetched in selection order
+        and reduced in Python with the identical arithmetic.
+        """
+        key = ("static_sdk_census", corpus, options, snapshot)
+        return self._cached(key, lambda: self._static_sdk_census(
+            corpus, options, snapshot))
+
+    def _static_sdk_census(self, corpus, options, snapshot):
+        rows = self._static_endpoints("static", None, corpus, options,
+                                      snapshot)
+        census = {}
+        for _, _, _, sdk, partial, cleartext, credentials, _ in rows:
+            row = census.setdefault(sdk, {
+                "total": 0, "full": 0, "partial": 0,
+                "cleartext": 0, "credentials": 0,
+            })
+            row["total"] += 1
+            row["partial" if partial else "full"] += 1
+            if cleartext:
+                row["cleartext"] += 1
+            if credentials:
+                row["credentials"] += 1
+        return [(sdk, census[sdk]) for sdk in sorted(census)]
+
+    def validation(self, corpus=None, options=None, snapshot=None):
+        """Per-SDK static-vs-dynamic precision/recall, served from rows.
+
+        Byte-equal to
+        :meth:`~repro.endpoints.ValidationResult.as_rows`: ``[(sdk,
+        static_total, dynamic_total, matched_static, matched_dynamic,
+        precision, recall)]`` with the identical division and
+        ``round(x, 6)`` arithmetic, reduced in Python from the stored
+        validated rows.
+        """
+        key = ("validation", corpus, options, snapshot)
+        return self._cached(key, lambda: self._validation(
+            corpus, options, snapshot))
+
+    def _validation(self, corpus, options, snapshot):
+        seq = self.store.latest_seq("endpoints", corpus, options, snapshot)
+        if seq is None:
+            return []
+        per_sdk = {}
+
+        def entry(sdk):
+            return per_sdk.setdefault(sdk, [0, 0, 0, 0])
+
+        for source, sdk, matched in self.store._query(
+                "SELECT source, sdk, matched FROM static_endpoints"
+                " WHERE ingest_seq = ? AND validated = 1"
+                " ORDER BY position", (seq,)):
+            counts = entry(sdk)
+            if source == "static":
+                counts[0] += 1
+                counts[2] += matched
+            else:
+                counts[1] += 1
+                counts[3] += matched
+        rows = []
+        for sdk in sorted(per_sdk):
+            static_total, dynamic_total, matched_static, \
+                matched_dynamic = per_sdk[sdk]
+            precision = (round(matched_static / static_total, 6)
+                         if static_total else 0.0)
+            recall = (round(matched_dynamic / dynamic_total, 6)
+                      if dynamic_total else 0.0)
+            rows.append((sdk, static_total, dynamic_total, matched_static,
+                         matched_dynamic, precision, recall))
+        return rows
+
     def funnel(self, corpus=None, options=None, snapshot=None):
         """The latest static ingest's Table 2 funnel dict."""
         key = ("funnel", corpus, options, snapshot)
@@ -487,6 +599,8 @@ def _cmd_label(service, args):
 
 
 def _cmd_endpoints(service, args):
+    if args.source != "crawl":
+        return _cmd_static_endpoints(service, args)
     census = service.endpoint_census(app=args.app,
                                      app_specific_only=args.app_specific)
     if not census:
@@ -501,6 +615,60 @@ def _cmd_endpoints(service, args):
         print("%-28s %-16s %-5d %-7d %-9d %-10d %d" % (
             domain, classification, apps, visits, requests,
             cleartext, credentials,
+        ))
+    return 0
+
+
+def _cmd_static_endpoints(service, args):
+    if args.source == "static" and args.app is None:
+        census = service.static_sdk_census()
+        if not census:
+            print("no endpoints ingests recorded")
+            return 0
+        print("%-24s %-10s %-6s %-8s %-10s %s" % (
+            "SDK", "Endpoints", "Full", "Partial", "Cleartext",
+            "Credentials",
+        ))
+        for sdk, row in census[:args.top]:
+            print("%-24s %-10d %-6d %-8d %-10d %d" % (
+                sdk, row["total"], row["full"], row["partial"],
+                row["cleartext"], row["credentials"],
+            ))
+        return 0
+    rows = service.static_endpoints(source=args.source, app=args.app)
+    if not rows:
+        if args.app is not None:
+            print("no endpoint rows match app %s" % args.app)
+        else:
+            print("no endpoints ingests recorded")
+        return 0
+    print("%-22s %-8s %-24s %-8s %s" % (
+        "App", "Source", "SDK", "Flags", "URL",
+    ))
+    for (app, source, url, sdk, partial, cleartext, credentials,
+         matched) in rows[:args.top]:
+        flags = "".join((
+            "p" if partial else "-", "c" if cleartext else "-",
+            "k" if credentials else "-", "m" if matched else "-",
+        ))
+        print("%-22s %-8s %-24s %-8s %s" % (app, source, sdk, flags, url))
+    return 0
+
+
+def _cmd_validate(service, args):
+    rows = service.validation()
+    if not rows:
+        print("no validated endpoints ingests recorded")
+        return 0
+    print("%-24s %-8s %-9s %-9s %-11s %s" % (
+        "SDK", "Static", "Dynamic", "Matched", "Precision", "Recall",
+    ))
+    for (sdk, static_total, dynamic_total, matched_static,
+         matched_dynamic, precision, recall) in rows:
+        print("%-24s %-8d %-9d %-9s %-11.3f %.3f" % (
+            sdk, static_total, dynamic_total,
+            "%d/%d" % (matched_static, matched_dynamic),
+            precision, recall,
         ))
     return 0
 
@@ -589,6 +757,11 @@ def main(argv=None):
     cmd.add_argument("--app", default=None)
     cmd.add_argument("--app-specific", action="store_true",
                      help="only endpoints absent from the baseline shell")
+    cmd.add_argument("--source", default="crawl",
+                     choices=("crawl", "static", "dynamic", "both"),
+                     help="crawl: dynamic crawl census (default);"
+                          " static/dynamic/both: static reconstruction"
+                          " rows and their cross-validation")
     cmd.add_argument("--top", type=int, default=30)
 
     commands.add_parser("webapi", help="Web-API call events per app")
@@ -606,6 +779,10 @@ def main(argv=None):
     commands.add_parser("capability",
                         help="SDKs ranked by injection capability")
 
+    commands.add_parser(
+        "validate",
+        help="static-vs-dynamic endpoint precision/recall per SDK")
+
     cmd = commands.add_parser("funnel", help="Table 2 funnel of an ingest")
     cmd.add_argument("--snapshot", default=None)
 
@@ -620,6 +797,7 @@ def main(argv=None):
         "webapi": _cmd_webapi,
         "bridges": _cmd_bridges,
         "capability": _cmd_capability,
+        "validate": _cmd_validate,
         "funnel": _cmd_funnel,
     }[args.command]
     return handler(service, args)

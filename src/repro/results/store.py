@@ -47,7 +47,9 @@ RESULTS_DB_ENV_VAR = "REPRO_RESULTS_DB"
 
 #: Bumped on any schema change; old files are never migrated in place.
 #: v2: added the ``bridge_findings`` table (injection-impact census).
-SCHEMA_VERSION = 2
+#: v3: added the ``static_endpoints`` table (static endpoint census and
+#: its dynamic cross-validation rows).
+SCHEMA_VERSION = 3
 
 _BUSY_TIMEOUT_MS = 5000
 
@@ -149,6 +151,22 @@ CREATE TABLE IF NOT EXISTS bridge_findings (
     cleartext INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (ingest_seq, position)
 );
+CREATE TABLE IF NOT EXISTS static_endpoints (
+    ingest_seq INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    app TEXT NOT NULL,
+    source TEXT NOT NULL,
+    url TEXT NOT NULL,
+    sdk TEXT NOT NULL DEFAULT '',
+    partial INTEGER NOT NULL DEFAULT 0,
+    cleartext INTEGER NOT NULL DEFAULT 0,
+    has_credentials INTEGER NOT NULL DEFAULT 0,
+    host TEXT NOT NULL DEFAULT '',
+    registrable_domain TEXT NOT NULL DEFAULT '',
+    validated INTEGER NOT NULL DEFAULT 0,
+    matched INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (ingest_seq, position)
+);
 CREATE INDEX IF NOT EXISTS outcomes_by_package
     ON outcomes (package, ingest_seq);
 CREATE INDEX IF NOT EXISTS sdk_labels_by_ingest
@@ -157,6 +175,8 @@ CREATE INDEX IF NOT EXISTS endpoints_by_domain
     ON endpoints (ingest_seq, registrable_domain);
 CREATE INDEX IF NOT EXISTS bridge_findings_by_sdk
     ON bridge_findings (ingest_seq, sdk, severity_rank);
+CREATE INDEX IF NOT EXISTS static_endpoints_by_sdk
+    ON static_endpoints (ingest_seq, source, sdk);
 """
 
 
@@ -305,6 +325,17 @@ class ResultsStore:
         """Persist an injection-impact census
         (:class:`~repro.impact.ImpactResult`) as ``bridge_findings``."""
         return self._ingest("impact", _ImpactWriter(result),
+                            corpus, options, snapshot, git)
+
+    def ingest_endpoints(self, result, validation=None, corpus="",
+                         options="", snapshot="", git=None):
+        """Persist a static endpoint census
+        (:class:`~repro.endpoints.EndpointResult`), optionally with its
+        dynamic cross-validation
+        (:class:`~repro.endpoints.ValidationResult`), as
+        ``static_endpoints`` rows."""
+        return self._ingest("endpoints",
+                            _EndpointsWriter(result, validation),
                             corpus, options, snapshot, git)
 
     def _ingest(self, kind, writer, corpus, options, snapshot, git):
@@ -627,6 +658,78 @@ class _ImpactWriter:
                  ",".join(finding.readable), ",".join(finding.invocable),
                  finding.flow_count, int(finding.cleartext)),
             )
+
+
+class _EndpointsWriter:
+    """Flattens an EndpointResult (+ optional validation) into rows.
+
+    Static rows land in census selection order; when a validation is
+    supplied, overlap apps carry ``validated = 1`` and per-URL
+    ``matched`` flags, and the validation's dynamic detail follows as
+    ``source = 'dynamic'`` rows — everything the serving layer needs to
+    re-derive the per-SDK precision/recall table byte-for-byte.
+    """
+
+    def __init__(self, result, validation=None):
+        self.result = result
+        self.validation = validation
+
+    def items(self):
+        return len(self.result.records)
+
+    def funnel(self):
+        census = self.result.sdk_census()
+        funnel = {
+            "apps": len(self.result.apps),
+            "endpoints": len(self.result.records),
+            "full": sum(row["full"] for row in census.values()),
+            "partial": sum(row["partial"] for row in census.values()),
+            "cleartext": sum(row["cleartext"] for row in census.values()),
+            "credentials": sum(row["credentials"]
+                               for row in census.values()),
+        }
+        if self.validation is not None:
+            funnel["validated_apps"] = self.validation.apps
+        return funnel
+
+    def write(self, conn, seq):
+        # Per-(app, url) match flags, queued in record order — the same
+        # URL may legally appear once full and once partial per app.
+        matched = {}
+        validated = set()
+        if self.validation is not None:
+            for app, url, flag in self.validation.static_detail:
+                matched.setdefault((app, url), []).append(flag)
+                validated.add(app)
+        position = 0
+        for app in self.result.apps:
+            in_overlap = app.package in validated
+            for record in app.records:
+                conn.execute(
+                    "INSERT OR REPLACE INTO static_endpoints (ingest_seq,"
+                    " position, app, source, url, sdk, partial, cleartext,"
+                    " has_credentials, host, registrable_domain,"
+                    " validated, matched)"
+                    " VALUES (?, ?, ?, 'static', ?, ?, ?, ?, ?, ?, ?, ?,"
+                    " ?)",
+                    (seq, position, app.package, record.url,
+                     record.sdk or "", int(record.partial),
+                     int(record.cleartext), int(record.credentials),
+                     record.host, record.registrable_domain,
+                     int(in_overlap),
+                     (matched[(app.package, record.url)].pop(0)
+                      if matched.get((app.package, record.url)) else 0)),
+                )
+                position += 1
+        if self.validation is not None:
+            for app, url, sdk, flag in self.validation.dynamic_detail:
+                conn.execute(
+                    "INSERT OR REPLACE INTO static_endpoints (ingest_seq,"
+                    " position, app, source, url, sdk, validated, matched)"
+                    " VALUES (?, ?, ?, 'dynamic', ?, ?, 1, ?)",
+                    (seq, position, app, url, sdk, flag),
+                )
+                position += 1
 
 
 class _WebApiWriter:

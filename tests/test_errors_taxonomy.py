@@ -68,6 +68,7 @@ class TestDropReasonSlugs:
             "device",
             "dex",
             "dns",
+            "endpoint",
             "hook",
             "html",
             "java_syntax",
